@@ -1,0 +1,184 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 8). Each benchmark prints the corresponding
+// table once (on the first iteration) and then times the underlying
+// harness, so `go test -bench=. -benchmem` doubles as the full
+// reproduction run. See EXPERIMENTS.md for the paper-vs-measured
+// comparison.
+package txconflict_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"txconflict/internal/adversary"
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/experiments"
+	"txconflict/internal/report"
+	"txconflict/internal/rng"
+	"txconflict/internal/stats"
+	"txconflict/internal/strategy"
+	"txconflict/internal/synth"
+)
+
+// printOnce writes a table to stdout on the benchmark's first
+// iteration only.
+var printedTables sync.Map
+
+func printOnce(b *testing.B, key string, t *report.Table) {
+	b.Helper()
+	if _, loaded := printedTables.LoadOrStore(key, true); !loaded {
+		b.StopTimer()
+		_ = t.WriteText(os.Stdout)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFigure2a — E1: synthetic conflict costs, high fixed cost
+// (B=2000, µ=500) across the five length distributions.
+func BenchmarkFigure2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := synth.Figure2(2000, 500, 20000, 1)
+		printOnce(b, "fig2a", t)
+	}
+}
+
+// BenchmarkFigure2b — E2: synthetic conflict costs, low fixed cost
+// (B=200, µ=500).
+func BenchmarkFigure2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := synth.Figure2(200, 500, 20000, 1)
+		printOnce(b, "fig2b", t)
+	}
+}
+
+// BenchmarkFigure2c — E3: the worst-case distribution for the
+// deterministic strategy.
+func BenchmarkFigure2c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := synth.Figure2c(1000, 50000, 1)
+		printOnce(b, "fig2c", t)
+	}
+}
+
+func benchFigure3(b *testing.B, bench string) {
+	cfg := experiments.Fig3Config{
+		Threads: []int{1, 2, 4, 8, 16},
+		Cycles:  500_000,
+		Policy:  core.RequestorWins,
+		Seed:    1,
+		GHz:     1,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure3(bench, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "fig3-"+bench, t)
+	}
+}
+
+// BenchmarkFigure3Stack — E4: HTM-simulator stack throughput across
+// threads and delay strategies.
+func BenchmarkFigure3Stack(b *testing.B) { benchFigure3(b, "stack") }
+
+// BenchmarkFigure3Queue — E5: HTM-simulator queue throughput.
+func BenchmarkFigure3Queue(b *testing.B) { benchFigure3(b, "queue") }
+
+// BenchmarkFigure3TxApp — E6: HTM-simulator transactional-application
+// throughput (2 of 64 objects).
+func BenchmarkFigure3TxApp(b *testing.B) { benchFigure3(b, "txapp") }
+
+// BenchmarkFigure3Bimodal — E7: HTM-simulator bimodal application
+// (short / very long transactions).
+func BenchmarkFigure3Bimodal(b *testing.B) { benchFigure3(b, "bimodal") }
+
+// BenchmarkCorollary1 — E8: adversarial sum-of-running-times ratio vs
+// the (r·w+1)/(w+1) bound.
+func BenchmarkCorollary1(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		t := &report.Table{
+			Title:   "Corollary 1: adversarial throughput competitiveness",
+			Columns: []string{"adversary", "strategy", "waste w", "ratio", "bound"},
+		}
+		gens := []adversary.Generator{
+			adversary.Random{NTx: 10000, Lengths: dist.Exponential{Mu: 200}, ConflictFrac: 0.5, K: 2, Cleanup: 50},
+			adversary.AntiDeterministic{NTx: 10000, K: 2, Cleanup: 25},
+		}
+		for _, g := range gens {
+			sched := g.Generate(r)
+			w := adversary.Waste(core.RequestorWins, sched)
+			on := adversary.Run(core.RequestorWins, strategy.UniformRW{}, sched, r)
+			opt := adversary.RunOpt(core.RequestorWins, sched)
+			t.AddRow(g.Name(), "RRW", w, stats.Ratio(on.SumRunning, opt.SumRunning), adversary.CorollaryBound(2, w))
+		}
+		printOnce(b, "cor1", t)
+	}
+}
+
+// BenchmarkCorollary2 — E9: progress under multiplicative backoff.
+func BenchmarkCorollary2(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		t := &report.Table{
+			Title:   "Corollary 2: attempts to commit under backoff",
+			Columns: []string{"y", "gamma", "bound", "P[within]"},
+		}
+		for _, p := range []adversary.ProgressParams{
+			{Y: 1000, Gamma: 3, K: 2, B0: 64},
+			{Y: 5000, Gamma: 5, K: 2, B0: 32},
+		} {
+			res := adversary.RunProgress(p, 2000, r)
+			t.AddRow(p.Y, p.Gamma, res.Bound, res.PWithinBound)
+		}
+		printOnce(b, "cor2", t)
+	}
+}
+
+// BenchmarkAbortProbability — E10: Section 5.3's abort probabilities
+// at y = B.
+func BenchmarkAbortProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := synth.AbortProbability(1000, 100000, 1)
+		printOnce(b, "abortprob", t)
+	}
+}
+
+// BenchmarkRWvsRA — E11: the competitive-ratio crossover in the
+// chain length k.
+func BenchmarkRWvsRA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := synth.Crossover(10)
+		printOnce(b, "crossover", t)
+	}
+}
+
+// BenchmarkCompetitiveRatios — E12: empirical worst-case ratio of
+// each strategy vs its analytic value.
+func BenchmarkCompetitiveRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := synth.RatioValidation(1000, 10000, 1)
+		printOnce(b, "ratios", t)
+	}
+}
+
+// BenchmarkSTMThroughput — E13: the real-goroutine STM counterpart
+// of Figure 3 (transactional application).
+func BenchmarkSTMThroughput(b *testing.B) {
+	cfg := experiments.STMConfig{
+		Goroutines: []int{1, 2, 4},
+		Duration:   50 * time.Millisecond,
+		Policy:     core.RequestorWins,
+		Seed:       1,
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.STMThroughput("txapp", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "stm", t)
+	}
+}

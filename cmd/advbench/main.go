@@ -1,0 +1,160 @@
+// Command advbench validates the paper's global guarantees:
+// Corollary 1 (the sum of running times under adversarial conflict
+// scheduling is constant-competitive with the clairvoyant optimum)
+// and Corollary 2 (multiplicative backoff yields probabilistic
+// progress).
+//
+// Usage:
+//
+//	advbench                 # Corollary 1 table over all adversaries
+//	advbench -progress       # Corollary 2 attempt-bound experiment
+//	advbench -ntx 100000     # bigger schedules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"txconflict/internal/adversary"
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/report"
+	"txconflict/internal/rng"
+	"txconflict/internal/stats"
+	"txconflict/internal/strategy"
+)
+
+func main() {
+	var (
+		progress = flag.Bool("progress", false, "run the Corollary 2 progress experiment")
+		timeline = flag.Bool("timeline", false, "run the operational multi-thread timeline validation")
+		ntx      = flag.Int("ntx", 20000, "transactions per adversarial schedule")
+		trials   = flag.Int("trials", 5000, "trials for the progress experiment")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text")
+	)
+	flag.Parse()
+	r := rng.New(*seed)
+
+	var tab *report.Table
+	switch {
+	case *progress:
+		tab = progressTable(*trials, r)
+	case *timeline:
+		tab = timelineTable(*ntx, *seed)
+	default:
+		tab = corollary1Table(*ntx, r)
+	}
+	var err error
+	if *csv {
+		err = tab.WriteCSV(os.Stdout)
+	} else {
+		err = tab.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advbench:", err)
+		os.Exit(1)
+	}
+}
+
+func corollary1Table(ntx int, r *rng.Rand) *report.Table {
+	t := &report.Table{
+		Title:   "Corollary 1: sum-of-running-times ratio vs (r·w+1)/(w+1) bound",
+		Columns: []string{"adversary", "policy", "strategy", "waste w", "ratio", "bound", "holds"},
+	}
+	gens := []adversary.Generator{
+		adversary.Random{NTx: ntx, Lengths: dist.Exponential{Mu: 200}, ConflictFrac: 0.5, K: 2, Cleanup: 50},
+		adversary.Random{NTx: ntx, Lengths: dist.UniformMean(300), ConflictFrac: 0.9, K: 3, Cleanup: 20},
+		adversary.HighContention{NTx: ntx, Lengths: dist.Exponential{Mu: 100}, KMax: 6, Cleanup: 30},
+		adversary.AntiDeterministic{NTx: ntx, K: 2, Cleanup: 25},
+	}
+	cases := []struct {
+		pol core.Policy
+		s   core.Strategy
+	}{
+		{core.RequestorWins, strategy.UniformRW{}},
+		{core.RequestorWins, strategy.GeneralRW{}},
+		{core.RequestorWins, strategy.Deterministic{}},
+		{core.RequestorAborts, strategy.ExpRA{}},
+	}
+	for _, g := range gens {
+		sched := g.Generate(r)
+		for _, c := range cases {
+			w := adversary.Waste(c.pol, sched)
+			on := adversary.Run(c.pol, c.s, sched, r)
+			opt := adversary.RunOpt(c.pol, sched)
+			ratio := stats.Ratio(on.SumRunning, opt.SumRunning)
+			localRatio := 0.0
+			for _, conf := range sched.Conflicts {
+				cc := core.Conflict{Policy: c.pol, K: conf.K, B: 1}
+				if lr := c.s.(strategy.Analytic).Ratio(cc); lr > localRatio {
+					localRatio = lr
+				}
+			}
+			bound := adversary.CorollaryBound(localRatio, w)
+			holds := "yes"
+			if ratio > bound*1.03 {
+				holds = "NO"
+			}
+			t.AddRow(g.Name(), c.pol.String(), c.s.Name(), w, ratio, bound, holds)
+		}
+	}
+	return t
+}
+
+func progressTable(trials int, r *rng.Rand) *report.Table {
+	t := &report.Table{
+		Title:   "Corollary 2: attempts to commit under multiplicative backoff",
+		Columns: []string{"y", "gamma", "k", "B0", "bound", "P[within bound]", "mean attempts"},
+	}
+	cases := []adversary.ProgressParams{
+		{Y: 1000, Gamma: 3, K: 2, B0: 64},
+		{Y: 5000, Gamma: 5, K: 2, B0: 32},
+		{Y: 1000, Gamma: 2, K: 4, B0: 128},
+		{Y: 200, Gamma: 8, K: 2, B0: 16},
+	}
+	for _, p := range cases {
+		res := adversary.RunProgress(p, trials, r)
+		sum := 0
+		for _, a := range res.Attempts {
+			sum += a
+		}
+		mean := float64(sum) / float64(len(res.Attempts))
+		t.AddRow(p.Y, p.Gamma, p.K, p.B0, res.Bound, res.PWithinBound, mean)
+	}
+	t.AddNote("Corollary 2 predicts P[within bound] >= 1/2")
+	return t
+}
+
+func timelineTable(ntx int, seed uint64) *report.Table {
+	t := &report.Table{
+		Title:   "Operational timeline: sum of running times vs clairvoyant optimum",
+		Columns: []string{"policy", "strategy", "threads", "waste w", "ratio", "bound", "grace saves"},
+	}
+	for _, n := range []int{2, 4, 8} {
+		for _, c := range []struct {
+			pol core.Policy
+			s   core.Strategy
+			r   float64
+		}{
+			{core.RequestorWins, strategy.UniformRW{}, 2},
+			{core.RequestorAborts, strategy.ExpRA{}, 1.582},
+		} {
+			p := adversary.TimelineParams{
+				Threads:      n,
+				TxPerThread:  ntx / n,
+				Lengths:      dist.Exponential{Mu: 120},
+				ConflictFrac: 0.4,
+				Cleanup:      40,
+				Policy:       c.pol,
+				Strategy:     c.s,
+				Seed:         seed,
+			}
+			ratio, w, online, _ := adversary.TimelineRatio(p)
+			t.AddRow(c.pol.String(), c.s.Name(), n, w, ratio, adversary.CorollaryBound(c.r, w), online.GraceSaves)
+		}
+	}
+	t.AddNote("operational model: delays shift whole thread timelines (queueing included)")
+	return t
+}

@@ -1,0 +1,76 @@
+// Command stmbench runs the real-goroutine STM throughput benchmarks
+// — the Figure 3 analogue on actual parallel hardware, with the same
+// strategy set (NO_DELAY, DELAY_TUNED, DELAY_DET, DELAY_RAND).
+//
+// Usage:
+//
+//	stmbench -bench all
+//	stmbench -bench stack -goroutines 1,2,4,8
+//	stmbench -bench txapp -policy ra -lazy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/experiments"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "all", "benchmark: stack, queue, txapp, bimodal or all")
+		levels = flag.String("goroutines", "", "comma-separated goroutine counts (default: powers of two up to GOMAXPROCS)")
+		dur    = flag.Duration("duration", 300*time.Millisecond, "measurement duration per cell")
+		policy = flag.String("policy", "rw", "conflict policy: rw or ra")
+		lazy   = flag.Bool("lazy", false, "use lazy (commit-time) locking instead of eager")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of text")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultSTMConfig()
+	cfg.Duration = *dur
+	cfg.Seed = *seed
+	cfg.Lazy = *lazy
+	if strings.EqualFold(*policy, "ra") {
+		cfg.Policy = core.RequestorAborts
+	}
+	if *levels != "" {
+		var gs []int
+		for _, part := range strings.Split(*levels, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "stmbench: bad goroutine count %q\n", part)
+				os.Exit(2)
+			}
+			gs = append(gs, n)
+		}
+		cfg.Goroutines = gs
+	}
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = []string{"stack", "queue", "txapp", "bimodal"}
+	}
+	for _, b := range benches {
+		tab, err := experiments.STMThroughput(b, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			err = tab.WriteCSV(os.Stdout)
+		} else {
+			err = tab.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command synthbench regenerates the paper's synthetic experiments
+// (Section 8.1): Figure 2a/2b/2c, the Section 5.3 abort-probability
+// comparison, the RW-vs-RA crossover table, and the competitive-ratio
+// validation sweep.
+//
+// Usage:
+//
+//	synthbench -fig 2a            # Figure 2a (B=2000, µ=500)
+//	synthbench -fig 2b            # Figure 2b (B=200,  µ=500)
+//	synthbench -fig 2c            # Figure 2c (worst case for DET)
+//	synthbench -abortprob         # Section 5.3 abort probabilities
+//	synthbench -crossover         # RW vs RA ratios by chain length
+//	synthbench -ratios            # empirical vs analytic ratios
+//	synthbench -all               # everything
+//	synthbench -fig 2a -csv       # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"txconflict/internal/report"
+	"txconflict/internal/synth"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate: 2a, 2b or 2c")
+		abortProb = flag.Bool("abortprob", false, "run the Section 5.3 abort-probability experiment")
+		crossover = flag.Bool("crossover", false, "print the RW vs RA crossover table")
+		ratios    = flag.Bool("ratios", false, "validate empirical competitive ratios")
+		all       = flag.Bool("all", false, "run every synthetic experiment")
+		trials    = flag.Int("trials", 200000, "trials per cell")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of text")
+	)
+	flag.Parse()
+
+	var tables []*report.Table
+	add := func(t *report.Table) { tables = append(tables, t) }
+
+	if *all || *fig == "2a" {
+		add(synth.Figure2(2000, 500, *trials, *seed))
+	}
+	if *all || *fig == "2b" {
+		add(synth.Figure2(200, 500, *trials, *seed))
+	}
+	if *all || *fig == "2c" {
+		add(synth.Figure2c(1000, *trials, *seed))
+	}
+	if *all || *abortProb {
+		add(synth.AbortProbability(1000, *trials, *seed))
+	}
+	if *all || *crossover {
+		add(synth.Crossover(10))
+	}
+	if *all || *ratios {
+		add(synth.RatioValidation(1000, *trials/4, *seed))
+	}
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do; try -all or -fig 2a (see -h)")
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command txsim regenerates Figure 3 on the HTM multicore simulator:
+// throughput of NO_DELAY, DELAY_TUNED, DELAY_DET and DELAY_RAND on
+// the stack, queue, transactional-application and bimodal benchmarks
+// across thread counts.
+//
+// Usage:
+//
+//	txsim -bench stack                    # one panel
+//	txsim -bench all                      # all four panels
+//	txsim -bench queue -threads 1,2,4,8   # custom sweep
+//	txsim -bench txapp -policy ra         # requestor-aborts HTM
+//	txsim -bench stack -detail 8          # per-cell metrics at 8 threads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"txconflict/internal/core"
+	"txconflict/internal/experiments"
+	"txconflict/internal/report"
+	"txconflict/internal/strategy"
+)
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "all", "benchmark: stack, queue, txapp, bimodal or all")
+		threads = flag.String("threads", "1,2,4,8,12,16", "comma-separated core counts")
+		cycles  = flag.Uint64("cycles", 2_000_000, "simulated cycles per cell")
+		policy  = flag.String("policy", "rw", "conflict policy: rw or ra")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text")
+		detail  = flag.Int("detail", 0, "print detailed metrics for this thread count instead of the sweep")
+		ablate  = flag.Int("ablate", 0, "run the design-choice ablations at this thread count instead of the sweep")
+	)
+	flag.Parse()
+
+	ths, err := parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txsim:", err)
+		os.Exit(2)
+	}
+	pol := core.RequestorWins
+	if strings.EqualFold(*policy, "ra") {
+		pol = core.RequestorAborts
+	}
+	cfg := experiments.Fig3Config{Threads: ths, Cycles: *cycles, Policy: pol, Seed: *seed, GHz: 1}
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = []string{"stack", "queue", "txapp", "bimodal"}
+	}
+
+	for _, b := range benches {
+		if *ablate > 0 {
+			tab, err := experiments.Ablations(b, *ablate, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "txsim:", err)
+				os.Exit(1)
+			}
+			if err := tab.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "txsim:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if *detail > 0 {
+			if err := printDetail(b, *detail, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "txsim:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		tab, err := experiments.Figure3(b, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txsim:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			err = tab.WriteCSV(os.Stdout)
+		} else {
+			err = tab.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printDetail(bench string, threads int, cfg experiments.Fig3Config) error {
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s detail at %d threads", bench, threads),
+		Columns: []string{"strategy", "commits", "aborts", "conflicts", "graceCommits", "capAborts", "nackAborts", "ops/s"},
+	}
+	tuned, err := experiments.TunedDelayFor(bench)
+	if err != nil {
+		return err
+	}
+	for _, s := range strategy.Fig3Set(tuned) {
+		met, err := experiments.Fig3Metrics(bench, threads, s, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(s.Name(), met.Commits, met.Aborts, met.Conflicts, met.GraceCommits,
+			met.CapacityAborts, met.NackAborts, met.OpsPerSecond(cfg.GHz))
+	}
+	return t.WriteText(os.Stdout)
+}

@@ -1,0 +1,14 @@
+// Package txconflict reproduces "The Transactional Conflict Problem"
+// (Alistarh, Haider, Kübler, Nadiradze — SPAA 2018): optimal online
+// algorithms for choosing grace periods when transactions conflict,
+// under both requestor-wins and requestor-aborts resolution.
+//
+// The repository contains the strategy family (internal/strategy),
+// the conflict cost model (internal/core), a cycle-level HTM
+// multicore simulator with directory MSI coherence (internal/htm and
+// friends) standing in for the paper's Graphite setup, a hand-rolled
+// software transactional runtime for real-goroutine experiments
+// (internal/stm), and harnesses regenerating every figure of the
+// paper's evaluation (internal/synth, internal/adversary,
+// internal/experiments; see bench_test.go, cmd/ and EXPERIMENTS.md).
+package txconflict

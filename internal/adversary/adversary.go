@@ -1,0 +1,284 @@
+// Package adversary implements the competitive-analysis model of
+// Section 6: an adversary schedules conflicts between the
+// transactions of n threads, and we compare the sum of running times
+// Σ Γ(T, A) of an online grace-period strategy against the
+// clairvoyant offline optimum, verifying Corollary 1's bound
+//
+//	Σ Γ(T, A) / Σ Γ(T, OPT) <= (r·w + 1)/(w + 1),
+//
+// where r is the local competitive ratio of the strategy and
+// w(S) = Σ α_T / Σ ρ_T is the adversary's waste under the optimal
+// algorithm.
+//
+// Per the model's simplifying assumptions (Section 3.2), each
+// transaction is conflicted at most once (as receiver), conflicts are
+// not cyclic, and the same conflict schedule is presented to the
+// online algorithm and to the optimum — which makes the comparison
+// exact rather than heuristic.
+package adversary
+
+import (
+	"math"
+
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+)
+
+// Conflict is one adversarial conflict: the receiver transaction is
+// interrupted at fraction Frac of its length by K-1 requestors whose
+// own elapsed fractions are ReqFrac (used for requestor-aborts redo
+// accounting).
+type Conflict struct {
+	// RecvLen is the receiver transaction's isolated length ρ.
+	RecvLen float64
+	// Frac is the interrupt point as a fraction of RecvLen.
+	Frac float64
+	// K is the conflict chain length (>= 2).
+	K int
+	// ReqLen and ReqFrac describe the requestor-side transactions
+	// (all K-1 assumed identical for accounting simplicity).
+	ReqLen  float64
+	ReqFrac float64
+}
+
+// Remaining returns the receiver's remaining execution time D.
+func (c Conflict) Remaining() float64 { return (1 - c.Frac) * c.RecvLen }
+
+// Schedule is a full adversarial scenario: the isolated lengths of
+// every transaction plus the conflicts the adversary injects.
+type Schedule struct {
+	// BaseLoad is Σ ρ_T over all transactions (conflicted or not).
+	BaseLoad float64
+	// Conflicts lists the adversary's conflict injections.
+	Conflicts []Conflict
+	// Cleanup is the fixed abort cleanup cost.
+	Cleanup float64
+	// Mean, when > 0, is the mean transaction length the profiler
+	// would report (fed to mean-constrained strategies).
+	Mean float64
+}
+
+// Outcome aggregates a strategy's performance on a schedule.
+type Outcome struct {
+	// SumRunning is Σ Γ(T): base load plus all conflict-induced
+	// waste (delays, wasted execution, cleanup, redo).
+	SumRunning float64
+	// Waste is SumRunning - BaseLoad.
+	Waste float64
+	// ReceiverCommits counts conflicts where the receiver survived.
+	ReceiverCommits int
+}
+
+// conflictWaste returns the extra running time a single conflict adds
+// when the chosen grace period is x, following Section 4's cost
+// accounting operationally:
+//
+//	requestor wins, D <= x: the k-1 requestors wait D;
+//	requestor wins, D > x:  receiver wastes Frac·L + x + cleanup and
+//	                        redoes the work, requestors wait x;
+//	requestor aborts, D <= x: the k-1 requestors wait D;
+//	requestor aborts, D > x:  each requestor wastes its elapsed time
+//	                          + x + cleanup and redoes its work.
+func conflictWaste(pol core.Policy, c Conflict, cleanup, x float64) (waste float64, receiverCommits bool) {
+	d := c.Remaining()
+	k1 := float64(c.K - 1)
+	if d <= x {
+		return k1 * d, true
+	}
+	switch pol {
+	case core.RequestorWins:
+		elapsed := c.Frac * c.RecvLen
+		return elapsed + x + cleanup + k1*x, false
+	case core.RequestorAborts:
+		reqElapsed := c.ReqFrac * c.ReqLen
+		return k1 * (reqElapsed + x + cleanup), false
+	default:
+		panic("adversary: unknown policy")
+	}
+}
+
+// optWaste returns the clairvoyant minimum waste for one conflict:
+// the better of waiting out the receiver and aborting immediately.
+func optWaste(pol core.Policy, c Conflict, cleanup float64) float64 {
+	wait, _ := conflictWaste(pol, c, cleanup, c.Remaining())
+	abort, _ := conflictWaste(pol, c, cleanup, 0)
+	return math.Min(wait, abort)
+}
+
+// abortCostB returns the strategy-visible abort cost B for a
+// conflict: the doomed side's elapsed time plus cleanup (paper
+// footnote 1).
+func abortCostB(pol core.Policy, c Conflict, cleanup float64) float64 {
+	if pol == core.RequestorWins {
+		return c.Frac*c.RecvLen + cleanup
+	}
+	return c.ReqFrac*c.ReqLen + cleanup
+}
+
+// Run evaluates a strategy on a schedule. Randomized strategies are
+// averaged over their own draws conflict by conflict (one draw per
+// conflict, as in a real execution).
+func Run(pol core.Policy, s core.Strategy, sched Schedule, r *rng.Rand) Outcome {
+	out := Outcome{SumRunning: sched.BaseLoad}
+	for _, c := range sched.Conflicts {
+		b := abortCostB(pol, c, sched.Cleanup)
+		conf := core.Conflict{Policy: pol, K: c.K, B: b, Mean: sched.Mean}
+		x := s.Delay(conf, r)
+		waste, committed := conflictWaste(pol, c, sched.Cleanup, x)
+		out.Waste += waste
+		if committed {
+			out.ReceiverCommits++
+		}
+	}
+	out.SumRunning += out.Waste
+	return out
+}
+
+// RunOpt evaluates the clairvoyant optimum on a schedule.
+func RunOpt(pol core.Policy, sched Schedule) Outcome {
+	out := Outcome{SumRunning: sched.BaseLoad}
+	for _, c := range sched.Conflicts {
+		out.Waste += optWaste(pol, c, sched.Cleanup)
+	}
+	out.SumRunning += out.Waste
+	return out
+}
+
+// CorollaryBound returns Corollary 1's bound on the sum-of-running-
+// times ratio for a strategy with local competitive ratio r and
+// adversarial waste w: (r·w + 1)/(w + 1).
+func CorollaryBound(localRatio, w float64) float64 {
+	return (localRatio*w + 1) / (w + 1)
+}
+
+// Waste returns w(S) = Σ α_T / Σ ρ_T for the optimal algorithm.
+func Waste(pol core.Policy, sched Schedule) float64 {
+	if sched.BaseLoad == 0 {
+		return 0
+	}
+	return RunOpt(pol, sched).Waste / sched.BaseLoad
+}
+
+// Generator produces adversarial schedules.
+type Generator interface {
+	Generate(r *rng.Rand) Schedule
+	Name() string
+}
+
+// Random is the baseline adversary: nTx transactions with lengths
+// from Lengths; a fraction ConflictFrac of them is interrupted at a
+// uniform point by a chain of length K.
+type Random struct {
+	NTx          int
+	Lengths      dist.Sampler
+	ConflictFrac float64
+	K            int
+	Cleanup      float64
+	FeedMean     bool
+}
+
+// Name implements Generator.
+func (a Random) Name() string { return "random" }
+
+// Generate implements Generator.
+func (a Random) Generate(r *rng.Rand) Schedule {
+	k := a.K
+	if k < 2 {
+		k = 2
+	}
+	sched := Schedule{Cleanup: a.Cleanup}
+	if a.FeedMean {
+		sched.Mean = a.Lengths.Mean()
+	}
+	for i := 0; i < a.NTx; i++ {
+		l := a.Lengths.Sample(r)
+		if l <= 0 {
+			l = 1
+		}
+		sched.BaseLoad += l
+		if r.Bool(a.ConflictFrac) {
+			sched.Conflicts = append(sched.Conflicts, Conflict{
+				RecvLen: l,
+				Frac:    r.Float64(),
+				K:       k,
+				ReqLen:  a.Lengths.Sample(r) + 1,
+				ReqFrac: r.Float64(),
+			})
+		}
+	}
+	return sched
+}
+
+// AntiDeterministic targets the deterministic strategy's worst case:
+// every conflicted transaction's remaining time lands exactly at the
+// deterministic abort point B/(k-1) (Figure 2c's adversary).
+type AntiDeterministic struct {
+	NTx     int
+	K       int
+	Cleanup float64
+}
+
+// Name implements Generator.
+func (a AntiDeterministic) Name() string { return "anti-DET" }
+
+// Generate implements Generator.
+func (a AntiDeterministic) Generate(r *rng.Rand) Schedule {
+	k := a.K
+	if k < 2 {
+		k = 2
+	}
+	sched := Schedule{Cleanup: a.Cleanup}
+	for i := 0; i < a.NTx; i++ {
+		// Choose elapsed E uniformly, so B = E + cleanup; set the
+		// remaining time exactly to B/(k-1): DET waits B/(k-1) and
+		// *still* aborts (D <= x commits on the boundary, so nudge D
+		// just above it).
+		elapsed := 50 + 100*r.Float64()
+		b := elapsed + a.Cleanup
+		d := b/float64(k-1) + 1e-9
+		l := elapsed + d
+		sched.BaseLoad += l
+		sched.Conflicts = append(sched.Conflicts, Conflict{
+			RecvLen: l,
+			Frac:    elapsed / l,
+			K:       k,
+			ReqLen:  l,
+			ReqFrac: 0.5,
+		})
+	}
+	return sched
+}
+
+// HighContention conflicts every transaction with long chains,
+// stressing the k > 2 strategies.
+type HighContention struct {
+	NTx     int
+	Lengths dist.Sampler
+	KMax    int
+	Cleanup float64
+}
+
+// Name implements Generator.
+func (a HighContention) Name() string { return "high-contention" }
+
+// Generate implements Generator.
+func (a HighContention) Generate(r *rng.Rand) Schedule {
+	sched := Schedule{Cleanup: a.Cleanup}
+	for i := 0; i < a.NTx; i++ {
+		l := a.Lengths.Sample(r)
+		if l <= 0 {
+			l = 1
+		}
+		sched.BaseLoad += l
+		k := 2 + r.Intn(a.KMax-1)
+		sched.Conflicts = append(sched.Conflicts, Conflict{
+			RecvLen: l,
+			Frac:    r.Float64(),
+			K:       k,
+			ReqLen:  a.Lengths.Sample(r) + 1,
+			ReqFrac: r.Float64(),
+		})
+	}
+	return sched
+}

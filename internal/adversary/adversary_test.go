@@ -1,0 +1,230 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+	"txconflict/internal/strategy"
+)
+
+func TestConflictWasteMatchesCostModel(t *testing.T) {
+	// The operational waste must equal Section 4's conflict cost.
+	c := Conflict{RecvLen: 100, Frac: 0.4, K: 2, ReqLen: 80, ReqFrac: 0.25}
+	cleanup := 10.0
+	d := c.Remaining() // 60
+	if d != 60 {
+		t.Fatalf("remaining = %v", d)
+	}
+	// RW commit case: x >= D -> waste (k-1)*D.
+	if w, ok := conflictWaste(core.RequestorWins, c, cleanup, 70); !ok || w != 60 {
+		t.Fatalf("RW commit waste = %v,%v", w, ok)
+	}
+	// RW abort case: waste = elapsed + x + cleanup + (k-1)x
+	//              = 40 + 30 + 10 + 30 = 110; and cost model says
+	// k·x + B with B = elapsed + cleanup = 2*30 + 50 = 110.
+	if w, ok := conflictWaste(core.RequestorWins, c, cleanup, 30); ok || w != 110 {
+		t.Fatalf("RW abort waste = %v,%v", w, ok)
+	}
+	// RA abort case: (k-1)(reqElapsed + x + cleanup) = 20+30+10 = 60.
+	if w, ok := conflictWaste(core.RequestorAborts, c, cleanup, 30); ok || w != 60 {
+		t.Fatalf("RA abort waste = %v,%v", w, ok)
+	}
+}
+
+func TestOptWasteIsMinimum(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		c := Conflict{
+			RecvLen: 1 + 500*r.Float64(),
+			Frac:    r.Float64(),
+			K:       2 + r.Intn(4),
+			ReqLen:  1 + 500*r.Float64(),
+			ReqFrac: r.Float64(),
+		}
+		for _, pol := range []core.Policy{core.RequestorWins, core.RequestorAborts} {
+			opt := optWaste(pol, c, 20)
+			for _, x := range []float64{0, 1, 10, 50, c.Remaining(), c.Remaining() * 2} {
+				w, _ := conflictWaste(pol, c, 20, x)
+				if w < opt-1e-9 {
+					t.Fatalf("%v: found x=%v with waste %v below opt %v (conflict %+v)", pol, x, w, opt, c)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroConflictsRatioOne(t *testing.T) {
+	sched := Schedule{BaseLoad: 1000}
+	r := rng.New(1)
+	on := Run(core.RequestorWins, strategy.UniformRW{}, sched, r)
+	opt := RunOpt(core.RequestorWins, sched)
+	if on.SumRunning != 1000 || opt.SumRunning != 1000 {
+		t.Fatalf("empty schedule: %v / %v", on.SumRunning, opt.SumRunning)
+	}
+	if Waste(core.RequestorWins, sched) != 0 {
+		t.Fatal("waste of empty schedule not 0")
+	}
+}
+
+// TestCorollary1Bound is experiment E8: for randomized strategies
+// with local ratio r, the sum of running times is within
+// (r·w+1)/(w+1) of the offline optimum (plus sampling noise), for
+// every adversary generator.
+func TestCorollary1Bound(t *testing.T) {
+	r := rng.New(2024)
+	gens := []Generator{
+		Random{NTx: 4000, Lengths: dist.Exponential{Mu: 200}, ConflictFrac: 0.5, K: 2, Cleanup: 50},
+		Random{NTx: 4000, Lengths: dist.UniformMean(300), ConflictFrac: 0.9, K: 3, Cleanup: 20},
+		HighContention{NTx: 4000, Lengths: dist.Exponential{Mu: 100}, KMax: 6, Cleanup: 30},
+		AntiDeterministic{NTx: 4000, K: 2, Cleanup: 25},
+	}
+	type sc struct {
+		pol core.Policy
+		s   core.Strategy
+	}
+	cases := []sc{
+		{core.RequestorWins, strategy.UniformRW{}},
+		{core.RequestorWins, strategy.GeneralRW{}},
+		{core.RequestorAborts, strategy.ExpRA{}},
+	}
+	for _, g := range gens {
+		sched := g.Generate(r)
+		w := Waste(core.RequestorWins, sched)
+		for _, tc := range cases {
+			wPol := Waste(tc.pol, sched)
+			on := Run(tc.pol, tc.s, sched, r)
+			opt := RunOpt(tc.pol, sched)
+			ratio := on.SumRunning / opt.SumRunning
+			// The local ratio depends on k per conflict; bound with
+			// the worst k in the schedule.
+			localRatio := 0.0
+			for _, c := range sched.Conflicts {
+				cc := core.Conflict{Policy: tc.pol, K: c.K, B: 1}
+				if lr := tc.s.(strategy.Analytic).Ratio(cc); lr > localRatio {
+					localRatio = lr
+				}
+			}
+			bound := CorollaryBound(localRatio, wPol)
+			if ratio > bound*1.03 { // 3% sampling slack
+				t.Errorf("%s/%s on %s: ratio %.4f exceeds bound %.4f (waste %.3f)",
+					tc.pol, tc.s.Name(), g.Name(), ratio, bound, wPol)
+			}
+		}
+		_ = w
+	}
+}
+
+func TestOnlineNeverBeatsOpt(t *testing.T) {
+	r := rng.New(7)
+	g := Random{NTx: 2000, Lengths: dist.Exponential{Mu: 150}, ConflictFrac: 0.7, K: 2, Cleanup: 40}
+	sched := g.Generate(r)
+	for _, tc := range []struct {
+		pol core.Policy
+		s   core.Strategy
+	}{
+		{core.RequestorWins, strategy.Immediate{}},
+		{core.RequestorWins, strategy.Deterministic{}},
+		{core.RequestorWins, strategy.UniformRW{}},
+		{core.RequestorAborts, strategy.ExpRA{}},
+		{core.RequestorAborts, strategy.MeanRA{}},
+	} {
+		on := Run(tc.pol, tc.s, sched, r)
+		opt := RunOpt(tc.pol, sched)
+		if on.SumRunning < opt.SumRunning-1e-6 {
+			t.Errorf("%s/%s: online %v beat opt %v", tc.pol, tc.s.Name(), on.SumRunning, opt.SumRunning)
+		}
+	}
+}
+
+func TestAntiDeterministicPunishesDET(t *testing.T) {
+	// Figure 2c / Theorem 4: against its worst-case distribution the
+	// deterministic strategy pays its full ratio, while the
+	// randomized strategy stays near 2.
+	r := rng.New(11)
+	sched := AntiDeterministic{NTx: 5000, K: 2, Cleanup: 25}.Generate(r)
+	opt := RunOpt(core.RequestorWins, sched)
+	det := Run(core.RequestorWins, strategy.Deterministic{}, sched, r)
+	rnd := Run(core.RequestorWins, strategy.UniformRW{}, sched, r)
+	detRatio := det.Waste / opt.Waste
+	rndRatio := rnd.Waste / opt.Waste
+	if detRatio < 2.5 {
+		t.Errorf("DET not punished by its adversary: waste ratio %.3f", detRatio)
+	}
+	if rndRatio > 2.1 {
+		t.Errorf("randomized strategy overpaid on DET's adversary: %.3f", rndRatio)
+	}
+	if rndRatio >= detRatio {
+		t.Errorf("randomized (%.3f) should beat DET (%.3f) here", rndRatio, detRatio)
+	}
+}
+
+func TestMeanFeedImprovesMeanStrategies(t *testing.T) {
+	// With FeedMean, the constrained strategies should (weakly)
+	// outperform their unconstrained versions when µ << B.
+	r := rng.New(13)
+	g := Random{
+		NTx: 30000, Lengths: dist.Exponential{Mu: 30},
+		ConflictFrac: 0.8, K: 2, Cleanup: 500, FeedMean: true,
+	}
+	sched := g.Generate(r)
+	// Interrupts happen late in long elapsed times: B ~ elapsed+500
+	// >> µ=30, so the constrained corner is active.
+	unc := Run(core.RequestorAborts, strategy.ExpRA{}, sched, r)
+	con := Run(core.RequestorAborts, strategy.MeanRA{}, sched, r)
+	if con.Waste >= unc.Waste {
+		t.Errorf("RRA(mu) waste %v not below RRA %v", con.Waste, unc.Waste)
+	}
+	uncW := Run(core.RequestorWins, strategy.GeneralRW{}, sched, r)
+	conW := Run(core.RequestorWins, strategy.MeanRW{}, sched, r)
+	if conW.Waste >= uncW.Waste {
+		t.Errorf("RRW(mu) waste %v not below RRW %v", conW.Waste, uncW.Waste)
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	r := rng.New(17)
+	g := Random{NTx: 100, Lengths: dist.Constant{V: 10}, ConflictFrac: 1, K: 4, Cleanup: 5}
+	sched := g.Generate(r)
+	if len(sched.Conflicts) != 100 {
+		t.Fatalf("conflicts = %d", len(sched.Conflicts))
+	}
+	if sched.BaseLoad != 1000 {
+		t.Fatalf("base load = %v", sched.BaseLoad)
+	}
+	for _, c := range sched.Conflicts {
+		if c.K != 4 || c.Frac < 0 || c.Frac >= 1 {
+			t.Fatalf("bad conflict %+v", c)
+		}
+	}
+	hc := HighContention{NTx: 50, Lengths: dist.Constant{V: 10}, KMax: 6, Cleanup: 5}.Generate(r)
+	for _, c := range hc.Conflicts {
+		if c.K < 2 || c.K > 6 {
+			t.Fatalf("high-contention k = %d", c.K)
+		}
+	}
+}
+
+func TestCorollaryBoundFormula(t *testing.T) {
+	if got := CorollaryBound(2, 0); got != 1 {
+		t.Fatalf("bound(2,0) = %v", got)
+	}
+	// w -> inf: bound -> r.
+	if got := CorollaryBound(2, 1e12); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("bound(2,inf) = %v", got)
+	}
+	if got := CorollaryBound(2, 1); got != 1.5 {
+		t.Fatalf("bound(2,1) = %v", got)
+	}
+}
+
+func BenchmarkRunSchedule(b *testing.B) {
+	r := rng.New(1)
+	sched := Random{NTx: 1000, Lengths: dist.Exponential{Mu: 100}, ConflictFrac: 0.5, K: 2, Cleanup: 20}.Generate(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(core.RequestorWins, strategy.UniformRW{}, sched, r)
+	}
+}

@@ -1,0 +1,89 @@
+package adversary
+
+import (
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+	"txconflict/internal/strategy"
+)
+
+// ProgressParams configures the Corollary 2 experiment: a transaction
+// of length Y encounters Gamma conflicts (as receiver, requestor
+// wins) per execution attempt at uniform points; after every abort
+// its abort cost B doubles. Corollary 2 predicts it commits within
+//
+//	log2(Y) + log2(Gamma) + log2(K) - log2(B0) + 2
+//
+// attempts with probability at least 1/2.
+type ProgressParams struct {
+	// Y is the transaction's running time.
+	Y float64
+	// Gamma is the number of conflicts per execution.
+	Gamma int
+	// K is the chain length of each conflict.
+	K int
+	// B0 is the initial abort cost.
+	B0 float64
+	// Factor is the multiplicative backoff (Corollary 2 uses 2).
+	Factor float64
+	// MaxAttempts caps the simulation.
+	MaxAttempts int
+}
+
+// ProgressResult reports the attempts-to-commit distribution.
+type ProgressResult struct {
+	// Attempts holds the number of attempts needed per trial.
+	Attempts []int
+	// Bound is Corollary 2's attempt bound.
+	Bound int
+	// PWithinBound is the fraction of trials that committed within
+	// Bound attempts (Corollary 2 predicts >= 1/2).
+	PWithinBound float64
+}
+
+// RunProgress simulates the backoff scheme for the given number of
+// trials using the unconstrained uniform requestor-wins strategy
+// (the one Corollary 2's proof analyses).
+func RunProgress(p ProgressParams, trials int, r *rng.Rand) ProgressResult {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 10000
+	}
+	if p.Factor == 0 {
+		p.Factor = 2
+	}
+	s := strategy.UniformRW{}
+	res := ProgressResult{
+		Bound: strategy.AttemptBound(p.Y, float64(p.Gamma), p.K, p.B0),
+	}
+	within := 0
+	for trial := 0; trial < trials; trial++ {
+		b := p.B0
+		attempts := 0
+		for attempts < p.MaxAttempts {
+			attempts++
+			// One execution: survive all Gamma conflicts to commit.
+			// Conflict i arrives at a uniform point; the transaction
+			// survives iff the grace period covers the remaining
+			// time (requestor-wins receiver role).
+			survived := true
+			for g := 0; g < p.Gamma; g++ {
+				remaining := (1 - r.Float64()) * p.Y
+				conf := core.Conflict{Policy: core.RequestorWins, K: p.K, B: b}
+				x := s.Delay(conf, r)
+				if x < remaining {
+					survived = false
+					break
+				}
+			}
+			if survived {
+				break
+			}
+			b *= p.Factor
+		}
+		res.Attempts = append(res.Attempts, attempts)
+		if attempts <= res.Bound {
+			within++
+		}
+	}
+	res.PWithinBound = float64(within) / float64(trials)
+	return res
+}

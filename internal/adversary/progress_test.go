@@ -1,0 +1,62 @@
+package adversary
+
+import (
+	"testing"
+
+	"txconflict/internal/rng"
+)
+
+// TestCorollary2Progress is experiment E9: under multiplicative
+// backoff, a transaction of length y encountering γ conflicts
+// commits within log(y)+log(γ)+log(k)-log(B)+2 attempts with
+// probability at least 1/2.
+func TestCorollary2Progress(t *testing.T) {
+	r := rng.New(31337)
+	cases := []ProgressParams{
+		{Y: 1000, Gamma: 3, K: 2, B0: 64},
+		{Y: 5000, Gamma: 5, K: 2, B0: 32},
+		{Y: 1000, Gamma: 2, K: 4, B0: 128},
+		{Y: 200, Gamma: 8, K: 2, B0: 16},
+	}
+	for _, p := range cases {
+		res := RunProgress(p, 4000, r)
+		if res.PWithinBound < 0.5 {
+			t.Errorf("params %+v: P(commit within %d attempts) = %.3f < 0.5",
+				p, res.Bound, res.PWithinBound)
+		}
+	}
+}
+
+func TestProgressWithoutBackoffIsWorse(t *testing.T) {
+	// Factor 1 (no backoff) must need at least as many attempts in
+	// expectation as factor 2.
+	r := rng.New(99)
+	base := ProgressParams{Y: 2000, Gamma: 4, K: 2, B0: 32, MaxAttempts: 5000}
+	withBackoff := base
+	withBackoff.Factor = 2
+	noBackoff := base
+	noBackoff.Factor = 1
+	mean := func(xs []int) float64 {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return float64(s) / float64(len(xs))
+	}
+	mb := mean(RunProgress(withBackoff, 1500, r).Attempts)
+	mn := mean(RunProgress(noBackoff, 1500, r).Attempts)
+	if mb >= mn {
+		t.Errorf("backoff mean attempts %.2f not below no-backoff %.2f", mb, mn)
+	}
+}
+
+func TestProgressBoundedByCap(t *testing.T) {
+	r := rng.New(1)
+	p := ProgressParams{Y: 1e9, Gamma: 50, K: 2, B0: 1, MaxAttempts: 10}
+	res := RunProgress(p, 50, r)
+	for _, a := range res.Attempts {
+		if a > 10 {
+			t.Fatalf("attempt count %d exceeds cap", a)
+		}
+	}
+}

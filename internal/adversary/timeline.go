@@ -1,0 +1,293 @@
+package adversary
+
+import (
+	"fmt"
+
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+	"txconflict/internal/sim"
+)
+
+// TimelineParams configures the operational Section 6 simulation: n
+// threads execute pre-drawn transaction sequences on a shared
+// timeline; the adversary interrupts pre-selected transactions at
+// pre-drawn points, pairing each receiver with the next thread as
+// requestor. Because the conflict schedule is drawn *before* the run,
+// the online strategies and the clairvoyant optimum face literally
+// identical conflicts, as the paper's model requires.
+type TimelineParams struct {
+	// Threads is the number of concurrent threads (>= 2).
+	Threads int
+	// TxPerThread is the length of each thread's transaction input.
+	TxPerThread int
+	// Lengths draws isolated transaction lengths (cycles, >= 1).
+	Lengths dist.Sampler
+	// ConflictFrac is the fraction of transactions the adversary
+	// interrupts (on their first attempt).
+	ConflictFrac float64
+	// Cleanup is the fixed abort cost in cycles.
+	Cleanup sim.Time
+	// Policy resolves conflicts; Strategy picks grace periods (nil =
+	// immediate).
+	Policy   core.Policy
+	Strategy core.Strategy
+	// Clairvoyant replaces the strategy with the offline-optimal
+	// per-conflict decision (knows the remaining time).
+	Clairvoyant bool
+	// FeedMean passes the length distribution's mean to the strategy.
+	FeedMean bool
+	// Seed draws the schedule and the strategy's randomness.
+	Seed uint64
+}
+
+// TimelineResult aggregates an operational run.
+type TimelineResult struct {
+	// SumRunning is Σ Γ(T): for every committed transaction, the
+	// time from its first invocation to its commit.
+	SumRunning float64
+	// BaseLoad is Σ ρ(T) over committed transactions.
+	BaseLoad float64
+	// Commits and Aborts count transaction outcomes.
+	Commits, Aborts uint64
+	// GraceSaves counts receivers that committed within their grace.
+	GraceSaves uint64
+	// Makespan is the finish time of the last thread.
+	Makespan sim.Time
+}
+
+// Waste returns (SumRunning - BaseLoad) / BaseLoad.
+func (r TimelineResult) Waste() float64 {
+	if r.BaseLoad == 0 {
+		return 0
+	}
+	return (r.SumRunning - r.BaseLoad) / r.BaseLoad
+}
+
+// tlTrace enables debug tracing (tests only).
+var tlTrace bool
+
+func tlLog(format string, args ...interface{}) {
+	if tlTrace {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// timelineTx is one pre-drawn transaction.
+type timelineTx struct {
+	length     sim.Time
+	conflicted bool
+	frac       float64
+}
+
+// tlThread is a thread's run state.
+type tlThread struct {
+	id      int
+	txs     []timelineTx
+	idx     int
+	epoch   uint64 // invalidates stale timers on abort/resume
+	running bool
+	// waiting marks a thread paused as a requestor in a conflict.
+	waiting bool
+	// receiverInGrace marks a thread whose current transaction is in
+	// its grace period (assumption (b): cannot be re-conflicted).
+	receiverInGrace bool
+
+	firstStart       sim.Time // first invocation of the current transaction
+	attemptAt        sim.Time // start of the current attempt
+	conflictConsumed bool
+}
+
+// RunTimeline executes the operational simulation and returns its
+// aggregate result. Deterministic given params.
+func RunTimeline(p TimelineParams) TimelineResult {
+	if p.Threads < 2 {
+		panic("adversary: timeline needs >= 2 threads")
+	}
+	r := rng.New(p.Seed)
+	strategyRng := r.Split()
+
+	threads := make([]*tlThread, p.Threads)
+	for t := range threads {
+		txs := make([]timelineTx, p.TxPerThread)
+		for i := range txs {
+			l := p.Lengths.Sample(r)
+			if l < 1 {
+				l = 1
+			}
+			txs[i] = timelineTx{
+				length:     sim.Time(l),
+				conflicted: r.Bool(p.ConflictFrac),
+				frac:       r.Float64(),
+			}
+		}
+		threads[t] = &tlThread{id: t, txs: txs}
+	}
+
+	var k sim.Kernel
+	res := TimelineResult{}
+
+	var startTx func(t *tlThread, firstAttempt bool)
+	var finishTx func(t *tlThread)
+
+	resume := func(t *tlThread, delay sim.Time, fn func()) {
+		e := t.epoch
+		k.After(delay, func() {
+			if t.epoch == e {
+				fn()
+			}
+		})
+	}
+
+	// conflictAt fires when a conflicted transaction reaches its
+	// interrupt point: the next thread becomes the requestor.
+	conflictAt := func(recv *tlThread, remaining sim.Time) {
+		reqThread := threads[(recv.id+1)%p.Threads]
+		// Assumption constraints: skip if the requestor is not in a
+		// position to conflict (idle, already waiting) or is itself
+		// a receiver in grace. The receiver then simply runs to
+		// completion.
+		if !reqThread.running || reqThread.waiting || reqThread.receiverInGrace {
+			resume(recv, remaining, func() { finishTx(recv) })
+			return
+		}
+		// Pause the requestor.
+		reqThread.waiting = true
+		reqThread.epoch++ // cancel its completion timer
+		reqElapsed := k.Now() - reqThread.attemptAt
+		tlLog("t=%d PAUSE q=%d idx=%d elapsed=%d len=%d (recv=%d rem=%d)", k.Now(), reqThread.id, reqThread.idx, reqElapsed, reqThread.txs[reqThread.idx].length, recv.id, remaining)
+
+		var grace sim.Time
+		var b float64
+		if p.Policy == core.RequestorWins {
+			b = float64(k.Now()-recv.attemptAt) + float64(p.Cleanup)
+		} else {
+			b = float64(reqElapsed) + float64(p.Cleanup)
+		}
+		conf := core.Conflict{Policy: p.Policy, K: 2, B: b}
+		if p.FeedMean {
+			conf.Mean = p.Lengths.Mean()
+		}
+		switch {
+		case p.Clairvoyant:
+			if float64(remaining) <= b {
+				grace = remaining
+			} else {
+				grace = 0
+			}
+		case p.Strategy == nil:
+			grace = 0
+		default:
+			x := p.Strategy.Delay(conf, strategyRng)
+			if x < 0 {
+				x = 0
+			}
+			grace = sim.Time(x)
+		}
+
+		resumeRequestor := func(abortRequestor bool) {
+			reqThread.waiting = false
+			if !reqThread.running {
+				return
+			}
+			if abortRequestor {
+				res.Aborts++
+				reqThread.epoch++
+				// Not running during cleanup: a thread mid-cleanup
+				// cannot be paused (its attemptAt is stale).
+				reqThread.running = false
+				resume(reqThread, p.Cleanup, func() { startTx(reqThread, false) })
+				return
+			}
+			// Continue the paused transaction: shift its attempt
+			// start by the pause length, reschedule completion.
+			tx := reqThread.txs[reqThread.idx]
+			reqThread.attemptAt = k.Now() - reqElapsed
+			left := tx.length - reqElapsed
+			tlLog("t=%d RESUME q=%d idx=%d elapsed=%d len=%d left=%d", k.Now(), reqThread.id, reqThread.idx, reqElapsed, tx.length, int64(left))
+			resume(reqThread, left, func() { finishTx(reqThread) })
+		}
+
+		if grace >= remaining {
+			// The receiver commits inside the grace period.
+			recv.receiverInGrace = true
+			res.GraceSaves++
+			resume(recv, remaining, func() {
+				recv.receiverInGrace = false
+				finishTx(recv)
+				resumeRequestor(false)
+			})
+			return
+		}
+		// Grace expires before the receiver can commit.
+		recv.receiverInGrace = true
+		resume(recv, grace, func() {
+			recv.receiverInGrace = false
+			if p.Policy == core.RequestorWins {
+				// Receiver aborts and restarts; requestor resumes.
+				res.Aborts++
+				recv.epoch++
+				recv.running = false // mid-cleanup: not pausable
+				resume(recv, p.Cleanup, func() { startTx(recv, false) })
+				resumeRequestor(false)
+				return
+			}
+			// Requestor aborts; receiver keeps running to its end.
+			resume(recv, remaining-grace, func() { finishTx(recv) })
+			resumeRequestor(true)
+		})
+	}
+
+	startTx = func(t *tlThread, firstAttempt bool) {
+		if t.idx >= len(t.txs) {
+			t.running = false
+			return
+		}
+		tx := t.txs[t.idx]
+		t.running = true
+		t.attemptAt = k.Now()
+		if firstAttempt {
+			t.firstStart = k.Now()
+			t.conflictConsumed = false
+		}
+		if tx.conflicted && !t.conflictConsumed {
+			t.conflictConsumed = true
+			at := sim.Time(tx.frac * float64(tx.length))
+			remaining := tx.length - at
+			resume(t, at, func() { conflictAt(t, remaining) })
+			return
+		}
+		resume(t, tx.length, func() { finishTx(t) })
+	}
+
+	finishTx = func(t *tlThread) {
+		res.Commits++
+		res.SumRunning += float64(k.Now() - t.firstStart)
+		res.BaseLoad += float64(t.txs[t.idx].length)
+		t.idx++
+		t.epoch++
+		t.running = false
+		resume(t, 1, func() { startTx(t, true) })
+	}
+
+	for _, t := range threads {
+		t := t
+		k.At(sim.Time(t.id), func() { startTx(t, true) })
+	}
+	k.Run()
+	res.Makespan = k.Now()
+	return res
+}
+
+// TimelineRatio runs the online strategy and the clairvoyant optimum
+// on the same pre-drawn schedule and returns their sum-of-running-
+// times ratio together with the optimum's waste.
+func TimelineRatio(p TimelineParams) (ratio, waste float64, online, opt TimelineResult) {
+	online = RunTimeline(p)
+	pOpt := p
+	pOpt.Clairvoyant = true
+	opt = RunTimeline(pOpt)
+	ratio = online.SumRunning / opt.SumRunning
+	waste = opt.Waste()
+	return
+}

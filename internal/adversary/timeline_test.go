@@ -1,0 +1,150 @@
+package adversary
+
+import (
+	"testing"
+
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/strategy"
+)
+
+func baseTimeline() TimelineParams {
+	return TimelineParams{
+		Threads:      4,
+		TxPerThread:  800,
+		Lengths:      dist.Exponential{Mu: 120},
+		ConflictFrac: 0.4,
+		Cleanup:      40,
+		Policy:       core.RequestorWins,
+		Strategy:     strategy.UniformRW{},
+		Seed:         2024,
+	}
+}
+
+func TestTimelineCompletes(t *testing.T) {
+	p := baseTimeline()
+	res := RunTimeline(p)
+	if res.Commits != uint64(p.Threads*p.TxPerThread) {
+		t.Fatalf("commits = %d, want %d", res.Commits, p.Threads*p.TxPerThread)
+	}
+	if res.SumRunning < res.BaseLoad {
+		t.Fatalf("sum of running times %v below base load %v", res.SumRunning, res.BaseLoad)
+	}
+	if res.Makespan == 0 {
+		t.Fatal("empty makespan")
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	a := RunTimeline(baseTimeline())
+	b := RunTimeline(baseTimeline())
+	if a != b {
+		t.Fatalf("same params diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTimelineClairvoyantIsBest(t *testing.T) {
+	// The clairvoyant decision must beat (or match) every online
+	// strategy on the same schedule.
+	for _, pol := range []core.Policy{core.RequestorWins, core.RequestorAborts} {
+		var strategies []core.Strategy
+		if pol == core.RequestorWins {
+			strategies = []core.Strategy{nil, strategy.UniformRW{}, strategy.Deterministic{}}
+		} else {
+			strategies = []core.Strategy{nil, strategy.ExpRA{}}
+		}
+		p := baseTimeline()
+		p.Policy = pol
+		pOpt := p
+		pOpt.Clairvoyant = true
+		opt := RunTimeline(pOpt)
+		for _, s := range strategies {
+			p.Strategy = s
+			on := RunTimeline(p)
+			if on.SumRunning < opt.SumRunning*0.999 {
+				name := "NO_DELAY"
+				if s != nil {
+					name = s.Name()
+				}
+				t.Errorf("%v/%s: online %v beat clairvoyant %v", pol, name, on.SumRunning, opt.SumRunning)
+			}
+		}
+	}
+}
+
+// TestTimelineCorollary1 validates Corollary 1 on the operational
+// timeline: the sum-of-running-times ratio stays within the
+// (2w+1)/(w+1) bound (with slack for the timeline's queueing effects,
+// which the accounting model abstracts away; the paper's bound still
+// dominates empirically).
+func TestTimelineCorollary1(t *testing.T) {
+	p := baseTimeline()
+	ratio, waste, _, _ := TimelineRatio(p)
+	bound := CorollaryBound(2, waste)
+	if ratio > bound*1.05 {
+		t.Fatalf("timeline ratio %.4f exceeds bound %.4f (waste %.3f)", ratio, bound, waste)
+	}
+	if ratio < 1 {
+		t.Fatalf("online ratio %v below 1", ratio)
+	}
+}
+
+func TestTimelineGraceSaves(t *testing.T) {
+	// With a generous strategy, some receivers must commit inside
+	// their grace; with NO_DELAY none can.
+	p := baseTimeline()
+	withGrace := RunTimeline(p)
+	if withGrace.GraceSaves == 0 {
+		t.Error("uniform strategy never saved a receiver")
+	}
+	p.Strategy = nil
+	noDelay := RunTimeline(p)
+	if noDelay.GraceSaves != 0 {
+		t.Errorf("NO_DELAY saved %d receivers", noDelay.GraceSaves)
+	}
+	if noDelay.Aborts == 0 {
+		t.Error("NO_DELAY timeline had no aborts")
+	}
+}
+
+func TestTimelineRAKeepsReceiver(t *testing.T) {
+	p := baseTimeline()
+	p.Policy = core.RequestorAborts
+	p.Strategy = strategy.ExpRA{}
+	res := RunTimeline(p)
+	if res.Commits != uint64(p.Threads*p.TxPerThread) {
+		t.Fatalf("RA timeline incomplete: %d commits", res.Commits)
+	}
+}
+
+func TestTimelinePanicsOnOneThread(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-thread timeline accepted")
+		}
+	}()
+	p := baseTimeline()
+	p.Threads = 1
+	RunTimeline(p)
+}
+
+func TestTimelineWasteNonNegative(t *testing.T) {
+	p := baseTimeline()
+	p.ConflictFrac = 0
+	res := RunTimeline(p)
+	if res.Aborts != 0 {
+		t.Fatalf("conflict-free timeline aborted %d times", res.Aborts)
+	}
+	if w := res.Waste(); w != 0 {
+		t.Fatalf("conflict-free waste = %v", w)
+	}
+}
+
+func BenchmarkTimeline(b *testing.B) {
+	p := baseTimeline()
+	p.TxPerThread = 200
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i)
+		RunTimeline(p)
+	}
+}

@@ -1,0 +1,210 @@
+// Package core defines the transactional conflict problem of
+// Alistarh, Haider, Kübler and Nadiradze (SPAA 2018): the cost model
+// for delaying conflict resolution between transactions, the offline
+// optimum, and the Strategy interface implemented by every
+// grace-period decision algorithm in this repository.
+//
+// # The problem
+//
+// A receiver transaction T1 is interrupted by a requestor T2 (or by a
+// chain of k-1 requestors). The system may abort immediately or grant
+// a grace period x. With D the unknown remaining execution time of
+// the transaction whose fate is being decided and B the fixed abort
+// cost, the conflict cost is:
+//
+//	Requestor wins (k >= 2):
+//	    D <= x:  (k-1)·D        (T1 commits; everyone else waited D)
+//	    D >  x:  k·x + B        (T1 ran x for nothing, k-1 waited x,
+//	                             plus the abort cost)
+//	Requestor aborts (k = 2):
+//	    D <= x:  D              (T2 waited D, then T1 committed)
+//	    D >  x:  x + B          (T2 waited x, then aborted)
+//	Requestor aborts (k > 2):
+//	    D <= x:  (k-1)·D
+//	    D >  x:  (k-1)·(x + B)  (all k-1 requestors abort)
+//
+// The offline optimum with foresight is min((k-1)·D, B) for requestor
+// wins and min(D, B) for requestor aborts with k=2; see OptCost.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"txconflict/internal/rng"
+)
+
+// Policy selects the conflict-resolution paradigm (Section 1).
+type Policy int
+
+const (
+	// RequestorWins aborts the receiver of the coherence request
+	// (unless it commits within the grace period). Implemented by
+	// e.g. the paper's Graphite HTM.
+	RequestorWins Policy = iota
+	// RequestorAborts aborts the requestor at the deadline,
+	// resolving the conflict in favor of the receiver.
+	RequestorAborts
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case RequestorWins:
+		return "requestor-wins"
+	case RequestorAborts:
+		return "requestor-aborts"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Conflict describes one conflict instance presented to a strategy.
+// It carries everything a *local* decision is allowed to see: the
+// resolution policy, the chain length k, the abort cost B, and — when
+// a profiler supplies it — the mean µ of the transaction-length
+// distribution. It never carries D, the remaining time, which is the
+// online unknown.
+type Conflict struct {
+	Policy Policy
+	// K is the conflict chain length (number of transactions
+	// involved); K >= 2.
+	K int
+	// B is the fixed abort cost. In practice this is the time the
+	// transaction has already been running plus a fixed cleanup cost
+	// (paper, footnote 1).
+	B float64
+	// Mean is the known mean µ of the adversarial length
+	// distribution, or 0 when unknown.
+	Mean float64
+}
+
+// Validate reports whether the conflict parameters are usable.
+func (c Conflict) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("core: conflict chain k=%d, need k >= 2", c.K)
+	}
+	if c.B <= 0 || math.IsNaN(c.B) || math.IsInf(c.B, 0) {
+		return fmt.Errorf("core: abort cost B=%v, need finite B > 0", c.B)
+	}
+	if c.Mean < 0 || math.IsNaN(c.Mean) {
+		return fmt.Errorf("core: mean µ=%v, need µ >= 0", c.Mean)
+	}
+	return nil
+}
+
+// Strategy decides the grace period for a conflict. Implementations
+// live in internal/strategy.
+type Strategy interface {
+	// Delay returns the grace period x >= 0 chosen for the conflict.
+	// Randomized strategies draw from r; deterministic strategies
+	// ignore it.
+	Delay(c Conflict, r *rng.Rand) float64
+	// Name identifies the strategy in tables (RRW, RRA, DET, ...).
+	Name() string
+}
+
+// Cost returns the conflict cost incurred when the strategy chose
+// grace period x and the true remaining time was d, per the paper's
+// Section 4 cost model.
+func Cost(c Conflict, x, d float64) float64 {
+	k := float64(c.K)
+	switch c.Policy {
+	case RequestorWins:
+		if d <= x {
+			return (k - 1) * d
+		}
+		return k*x + c.B
+	case RequestorAborts:
+		if c.K == 2 {
+			if d <= x {
+				return d
+			}
+			return x + c.B
+		}
+		if d <= x {
+			return (k - 1) * d
+		}
+		return (k - 1) * (x + c.B)
+	default:
+		panic("core: unknown policy")
+	}
+}
+
+// OptCost returns the cost of the offline optimum, which knows d.
+//
+// Requestor wins: min((k-1)·d, B) (Section 4.1).
+// Requestor aborts, k=2: min(d, B) (Section 4.2, classic ski rental).
+// Requestor aborts, k>2: the paper's Lagrangian normalizes conflict
+// cost by (k-1)·y on [0, B/(k-1)] and by B outside, i.e. the offline
+// optimum is min((k-1)·d, B).
+func OptCost(c Conflict, d float64) float64 {
+	switch c.Policy {
+	case RequestorWins:
+		return math.Min(float64(c.K-1)*d, c.B)
+	case RequestorAborts:
+		if c.K == 2 {
+			return math.Min(d, c.B)
+		}
+		return math.Min(float64(c.K-1)*d, c.B)
+	default:
+		panic("core: unknown policy")
+	}
+}
+
+// MaxUsefulDelay returns the upper end of the support of any sensible
+// strategy: B for the two-transaction cases and B/(k-1) for chains.
+// Delaying beyond this point is dominated by aborting at 0
+// (Section 5).
+func MaxUsefulDelay(c Conflict) float64 {
+	if c.K == 2 {
+		return c.B
+	}
+	return c.B / float64(c.K-1)
+}
+
+// ExpectedCost integrates Cost over the strategy's delay distribution
+// empirically with n samples, for a fixed adversarial remaining time
+// d. Deterministic strategies need n=1.
+func ExpectedCost(c Conflict, s Strategy, d float64, r *rng.Rand, n int) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Cost(c, s.Delay(c, r), d)
+	}
+	return sum / float64(n)
+}
+
+// EmpiricalRatio estimates the competitive ratio of s against the
+// offline optimum for a fixed d: E[Cost]/OPT.
+func EmpiricalRatio(c Conflict, s Strategy, d float64, r *rng.Rand, n int) float64 {
+	opt := OptCost(c, d)
+	if opt == 0 {
+		return 1
+	}
+	return ExpectedCost(c, s, d, r, n) / opt
+}
+
+// WorstCaseRatio sweeps adversarial choices of d over [dLo, dHi] in
+// steps and returns the largest empirical competitive ratio found.
+// It is the workhorse of the strategy property tests: for a strategy
+// with analytic ratio R, the sweep must stay within sampling noise
+// of R.
+func WorstCaseRatio(c Conflict, s Strategy, dLo, dHi float64, steps, samples int, r *rng.Rand) float64 {
+	if steps < 2 {
+		steps = 2
+	}
+	worst := 0.0
+	for i := 0; i <= steps; i++ {
+		d := dLo + (dHi-dLo)*float64(i)/float64(steps)
+		if d <= 0 {
+			continue
+		}
+		if ratio := EmpiricalRatio(c, s, d, r, samples); ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"txconflict/internal/rng"
+)
+
+func TestPolicyString(t *testing.T) {
+	if RequestorWins.String() != "requestor-wins" {
+		t.Fatal(RequestorWins.String())
+	}
+	if RequestorAborts.String() != "requestor-aborts" {
+		t.Fatal(RequestorAborts.String())
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Fatal(Policy(9).String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Conflict{Policy: RequestorWins, K: 2, B: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid conflict rejected: %v", err)
+	}
+	bad := []Conflict{
+		{K: 1, B: 100},
+		{K: 2, B: 0},
+		{K: 2, B: -5},
+		{K: 2, B: math.Inf(1)},
+		{K: 2, B: math.NaN()},
+		{K: 2, B: 100, Mean: -1},
+		{K: 2, B: 100, Mean: math.NaN()},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid conflict %+v accepted", i, c)
+		}
+	}
+}
+
+func TestCostRequestorWinsK2(t *testing.T) {
+	c := Conflict{Policy: RequestorWins, K: 2, B: 100}
+	// Commit within grace: pay D (= (k-1)*D with k=2).
+	if got := Cost(c, 50, 30); got != 30 {
+		t.Fatalf("commit case cost = %v, want 30", got)
+	}
+	// Abort at deadline: 2x + B.
+	if got := Cost(c, 50, 80); got != 2*50+100 {
+		t.Fatalf("abort case cost = %v, want 200", got)
+	}
+	// Boundary d == x commits (paper: D <= x commits for RW).
+	if got := Cost(c, 50, 50); got != 50 {
+		t.Fatalf("boundary cost = %v, want 50", got)
+	}
+	// Immediate abort pays exactly B.
+	if got := Cost(c, 0, 10); got != 100 {
+		t.Fatalf("immediate abort = %v, want 100", got)
+	}
+}
+
+func TestCostRequestorWinsChain(t *testing.T) {
+	c := Conflict{Policy: RequestorWins, K: 4, B: 90}
+	// Commit: (k-1)*D = 3*10.
+	if got := Cost(c, 20, 10); got != 30 {
+		t.Fatalf("chain commit cost = %v", got)
+	}
+	// Abort: k*x + B = 4*20 + 90.
+	if got := Cost(c, 20, 25); got != 170 {
+		t.Fatalf("chain abort cost = %v", got)
+	}
+}
+
+func TestCostRequestorAbortsK2(t *testing.T) {
+	c := Conflict{Policy: RequestorAborts, K: 2, B: 100}
+	if got := Cost(c, 50, 30); got != 30 {
+		t.Fatalf("RA commit cost = %v", got)
+	}
+	if got := Cost(c, 50, 80); got != 150 {
+		t.Fatalf("RA abort cost = %v, want x+B=150", got)
+	}
+}
+
+func TestCostRequestorAbortsChain(t *testing.T) {
+	c := Conflict{Policy: RequestorAborts, K: 3, B: 100}
+	if got := Cost(c, 40, 10); got != 20 {
+		t.Fatalf("RA chain commit = %v, want (k-1)*D=20", got)
+	}
+	if got := Cost(c, 40, 90); got != 2*(40+100) {
+		t.Fatalf("RA chain abort = %v, want (k-1)(x+B)=280", got)
+	}
+}
+
+func TestOptCost(t *testing.T) {
+	rw := Conflict{Policy: RequestorWins, K: 2, B: 100}
+	if OptCost(rw, 30) != 30 || OptCost(rw, 500) != 100 {
+		t.Fatal("RW k=2 OPT wrong")
+	}
+	rw3 := Conflict{Policy: RequestorWins, K: 3, B: 100}
+	if OptCost(rw3, 30) != 60 || OptCost(rw3, 500) != 100 {
+		t.Fatal("RW k=3 OPT wrong")
+	}
+	ra := Conflict{Policy: RequestorAborts, K: 2, B: 100}
+	if OptCost(ra, 30) != 30 || OptCost(ra, 500) != 100 {
+		t.Fatal("RA k=2 OPT wrong")
+	}
+	ra4 := Conflict{Policy: RequestorAborts, K: 4, B: 90}
+	if OptCost(ra4, 10) != 30 || OptCost(ra4, 1e6) != 90 {
+		t.Fatal("RA k=4 OPT wrong")
+	}
+}
+
+func TestOptNeverExceedsCost(t *testing.T) {
+	// The offline optimum is a lower bound on any decision's cost.
+	f := func(kRaw uint8, bRaw, xRaw, dRaw uint16, pol bool) bool {
+		k := int(kRaw%6) + 2
+		b := float64(bRaw%5000) + 1
+		c := Conflict{K: k, B: b}
+		if pol {
+			c.Policy = RequestorAborts
+		}
+		x := float64(xRaw) / 65535 * MaxUsefulDelay(c)
+		d := float64(dRaw)/65535*2*b + 1e-9
+		return OptCost(c, d) <= Cost(c, x, d)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxUsefulDelay(t *testing.T) {
+	if MaxUsefulDelay(Conflict{K: 2, B: 100}) != 100 {
+		t.Fatal("k=2 support wrong")
+	}
+	if MaxUsefulDelay(Conflict{K: 5, B: 100}) != 25 {
+		t.Fatal("k=5 support wrong")
+	}
+}
+
+// fixedDelay is a test strategy returning a constant grace period.
+type fixedDelay float64
+
+func (f fixedDelay) Delay(Conflict, *rng.Rand) float64 { return float64(f) }
+func (f fixedDelay) Name() string                      { return "fixed-test" }
+
+func TestExpectedCostDeterministic(t *testing.T) {
+	c := Conflict{Policy: RequestorWins, K: 2, B: 100}
+	r := rng.New(1)
+	got := ExpectedCost(c, fixedDelay(50), 80, r, 10)
+	if got != 200 {
+		t.Fatalf("expected cost = %v, want 200", got)
+	}
+}
+
+func TestEmpiricalRatio(t *testing.T) {
+	c := Conflict{Policy: RequestorWins, K: 2, B: 100}
+	r := rng.New(1)
+	// Delay 0 against d=10: cost B=100, OPT=10 => ratio 10.
+	if got := EmpiricalRatio(c, fixedDelay(0), 10, r, 1); got != 10 {
+		t.Fatalf("ratio = %v, want 10", got)
+	}
+	// d=0 edge: OPT is 0, ratio defined as 1.
+	if got := EmpiricalRatio(c, fixedDelay(0), 0, r, 1); got != 1 {
+		t.Fatalf("zero-opt ratio = %v, want 1", got)
+	}
+}
+
+func TestWorstCaseRatioFixedZero(t *testing.T) {
+	// Immediate abort has unbounded ratio as d -> 0; over a sweep
+	// starting at small d the worst ratio must come from the
+	// smallest d.
+	c := Conflict{Policy: RequestorWins, K: 2, B: 100}
+	r := rng.New(1)
+	worst := WorstCaseRatio(c, fixedDelay(0), 1, 200, 100, 1, r)
+	if worst != 100 { // d=1: cost 100, opt 1
+		t.Fatalf("worst ratio = %v, want 100", worst)
+	}
+}
+
+func TestCostContinuityAtSupportEdge(t *testing.T) {
+	// At x = MaxUsefulDelay and d slightly above, the abort branch
+	// cost for RW k=2 is 2B+B = 3B; sanity-check against formulas.
+	c := Conflict{Policy: RequestorWins, K: 2, B: 100}
+	x := MaxUsefulDelay(c)
+	if got := Cost(c, x, x+1); got != 2*x+c.B {
+		t.Fatalf("edge cost = %v", got)
+	}
+}
+
+func BenchmarkCost(b *testing.B) {
+	c := Conflict{Policy: RequestorWins, K: 3, B: 1000}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Cost(c, float64(i%500), float64(i%700))
+	}
+	_ = sink
+}

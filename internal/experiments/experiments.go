@@ -1,0 +1,297 @@
+// Package experiments glues the substrates into the paper's
+// evaluation harnesses: each function regenerates one figure (or its
+// STM counterpart) as a report.Table whose shape can be compared
+// against the paper. EXPERIMENTS.md records the comparisons.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/htm"
+	"txconflict/internal/report"
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+	"txconflict/internal/strategy"
+	"txconflict/internal/txds"
+	"txconflict/internal/workload"
+)
+
+// Fig3Config tunes the Figure 3 HTM-simulator sweep.
+type Fig3Config struct {
+	// Threads lists the core counts to sweep (paper: 1..16).
+	Threads []int
+	// Cycles is the simulated duration per cell.
+	Cycles uint64
+	// Policy is the HTM conflict-resolution policy (paper: requestor
+	// wins).
+	Policy core.Policy
+	// Seed feeds all random streams.
+	Seed uint64
+	// GHz converts cycles to seconds for ops/s reporting.
+	GHz float64
+}
+
+// DefaultFig3Config mirrors the paper's setup at laptop scale.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		Threads: []int{1, 2, 4, 8, 12, 16},
+		Cycles:  2_000_000,
+		Policy:  core.RequestorWins,
+		Seed:    1,
+		GHz:     1,
+	}
+}
+
+// fig3Workload builds a fresh workload instance for a benchmark name.
+// Fresh instances matter: stack/queue generators carry per-core
+// parity state.
+func fig3Workload(bench string) (htm.Workload, error) {
+	switch bench {
+	case "stack":
+		return workload.NewStack(15, 10), nil
+	case "queue":
+		return workload.NewQueue(15, 10), nil
+	case "txapp":
+		return workload.NewTxApp(60, 10), nil
+	case "bimodal":
+		return workload.NewBimodal(50, 5000, 0.5, 10), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown benchmark %q (stack, queue, txapp, bimodal)", bench)
+	}
+}
+
+// Figure3 regenerates one panel of Figure 3: throughput (ops/s) of
+// NO_DELAY, DELAY_TUNED, DELAY_DET, DELAY_RAND across thread counts
+// on the HTM simulator.
+func Figure3(bench string, cfg Fig3Config) (*report.Table, error) {
+	if len(cfg.Threads) == 0 {
+		cfg = DefaultFig3Config()
+	}
+	tunedProbe, err := fig3Workload(bench)
+	if err != nil {
+		return nil, err
+	}
+	probeParams := htm.DefaultParams(1)
+	tuned := workload.TunedDelay(tunedProbe, probeParams, 512)
+	strategies := strategy.Fig3Set(tuned)
+	t := &report.Table{
+		Title:   fmt.Sprintf("Figure 3 (%s): throughput, ops/s at %.0f GHz", bench, cfg.GHz),
+		Columns: []string{"threads"},
+	}
+	names := []string{"NO_DELAY", "DELAY_TUNED", "DELAY_DET", "DELAY_RAND"}
+	t.Columns = append(t.Columns, names...)
+	for _, n := range cfg.Threads {
+		row := []interface{}{n}
+		for _, s := range strategies {
+			w, err := fig3Workload(bench)
+			if err != nil {
+				return nil, err
+			}
+			p := htm.DefaultParams(n)
+			p.Policy = cfg.Policy
+			p.Strategy = s
+			p.Seed = cfg.Seed
+			m := htm.NewMachine(p, w)
+			met := m.Run(cfg.Cycles)
+			row = append(row, met.OpsPerSecond(cfg.GHz))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("tuned delay = %.1f cycles (average isolated fast-path length)", tuned)
+	t.AddNote("policy %v, %d cycles per cell, seed %d", cfg.Policy, cfg.Cycles, cfg.Seed)
+	return t, nil
+}
+
+// TunedDelayFor returns the DELAY_TUNED grace period for a
+// benchmark: the average isolated fast-path length in cycles.
+func TunedDelayFor(bench string) (float64, error) {
+	w, err := fig3Workload(bench)
+	if err != nil {
+		return 0, err
+	}
+	return workload.TunedDelay(w, htm.DefaultParams(1), 512), nil
+}
+
+// Fig3Metrics returns the raw metrics for one cell, for detailed
+// inspection (abort rates, conflicts, grace commits).
+func Fig3Metrics(bench string, threads int, s core.Strategy, cfg Fig3Config) (htm.Metrics, error) {
+	w, err := fig3Workload(bench)
+	if err != nil {
+		return htm.Metrics{}, err
+	}
+	p := htm.DefaultParams(threads)
+	p.Policy = cfg.Policy
+	p.Strategy = s
+	p.Seed = cfg.Seed
+	m := htm.NewMachine(p, w)
+	return m.Run(cfg.Cycles), nil
+}
+
+// STMConfig tunes the real-goroutine throughput benchmarks (the
+// Graphite-experiment analogue on actual parallel hardware).
+type STMConfig struct {
+	// Goroutines lists the concurrency levels.
+	Goroutines []int
+	// Duration per cell.
+	Duration time.Duration
+	// Policy and Lazy select the runtime mode.
+	Policy core.Policy
+	Lazy   bool
+	// Seed feeds the per-goroutine streams.
+	Seed uint64
+}
+
+// DefaultSTMConfig sweeps up to the machine's parallelism.
+func DefaultSTMConfig() STMConfig {
+	max := runtime.GOMAXPROCS(0)
+	levels := []int{1}
+	for n := 2; n < max; n *= 2 {
+		levels = append(levels, n)
+	}
+	if max > 1 {
+		levels = append(levels, max)
+	}
+	return STMConfig{
+		Goroutines: levels,
+		Duration:   200 * time.Millisecond,
+		Policy:     core.RequestorWins,
+		Seed:       1,
+	}
+}
+
+// stmOp abstracts one benchmark operation on a freshly built
+// structure.
+type stmOp struct {
+	rt *stm.Runtime
+	op func(r *rng.Rand)
+}
+
+func stmBench(bench string, cfg stm.Config) (stmOp, error) {
+	switch bench {
+	case "stack":
+		s := txds.NewStack(4096, cfg)
+		return stmOp{rt: s.Runtime(), op: func(r *rng.Rand) {
+			_ = s.Push(r, 1)
+			_, _ = s.Pop(r)
+		}}, nil
+	case "queue":
+		q := txds.NewQueue(4096, cfg)
+		return stmOp{rt: q.Runtime(), op: func(r *rng.Rand) {
+			_ = q.Enqueue(r, 1)
+			_, _ = q.Dequeue(r)
+		}}, nil
+	case "txapp":
+		a := txds.NewApp(300, cfg)
+		return stmOp{rt: a.Runtime(), op: a.Op}, nil
+	case "bimodal":
+		a := txds.NewBimodalApp(50, 20000, 0.5, cfg)
+		return stmOp{rt: a.Runtime(), op: a.Op}, nil
+	default:
+		return stmOp{}, fmt.Errorf("experiments: unknown STM benchmark %q", bench)
+	}
+}
+
+// stmStrategies returns the Figure 3 strategy set for the STM, with
+// the tuned delay expressed in nanoseconds.
+func stmStrategies(tunedNs float64) []core.Strategy {
+	return []core.Strategy{
+		nil,
+		strategy.Fixed{X: tunedNs},
+		strategy.Deterministic{},
+		strategy.UniformRW{},
+	}
+}
+
+// tuneSTM measures the mean uncontended op latency (ns) for the
+// DELAY_TUNED baseline.
+func tuneSTM(bench string, pol core.Policy, lazy bool, seed uint64) (float64, error) {
+	cfg := stm.Config{Policy: pol, Lazy: lazy, CleanupCost: 2 * time.Microsecond, MaxRetries: 64}
+	b, err := stmBench(bench, cfg)
+	if err != nil {
+		return 0, err
+	}
+	r := rng.New(seed)
+	const ops = 3000
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		b.op(r)
+	}
+	return float64(time.Since(start).Nanoseconds()) / ops, nil
+}
+
+// STMThroughput regenerates the Figure 3 analogue on the real
+// STM runtime: ops/s for the four delay strategies across goroutine
+// counts.
+func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
+	if len(cfg.Goroutines) == 0 {
+		cfg = DefaultSTMConfig()
+	}
+	tuned, err := tuneSTM(bench, cfg.Policy, cfg.Lazy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("STM throughput (%s): ops/s, %v", bench, cfg.Policy),
+		Columns: []string{"goroutines", "NO_DELAY", "DELAY_TUNED", "DELAY_DET", "DELAY_RAND"},
+	}
+	for _, n := range cfg.Goroutines {
+		row := []interface{}{n}
+		for _, s := range stmStrategies(tuned) {
+			sCfg := stm.Config{
+				Policy:      cfg.Policy,
+				Strategy:    s,
+				Lazy:        cfg.Lazy,
+				CleanupCost: 2 * time.Microsecond,
+				MaxRetries:  256,
+			}
+			b, err := stmBench(bench, sCfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, runSTMCell(b, n, cfg.Duration, cfg.Seed))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("tuned delay = %.0f ns (mean uncontended op latency)", tuned)
+	return t, nil
+}
+
+// runSTMCell measures ops/s with n goroutines hammering the
+// structure for the duration.
+func runSTMCell(b stmOp, n int, d time.Duration, seed uint64) float64 {
+	root := rng.New(seed)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	counts := make([]uint64, n)
+	for g := 0; g < n; g++ {
+		r := root.Split()
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.op(r)
+				counts[g]++
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / elapsed
+}

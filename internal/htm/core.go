@@ -1,0 +1,547 @@
+package htm
+
+import (
+	"txconflict/internal/cache"
+	ccore "txconflict/internal/core"
+	"txconflict/internal/rng"
+	"txconflict/internal/sim"
+	"txconflict/internal/strategy"
+)
+
+// pendingConflict is a coherence request parked at a receiving core
+// during its grace period.
+type pendingConflict struct {
+	req     *request
+	isFetch bool // fetch of an M line vs invalidation of an S line
+}
+
+// Core models one core: a private L1, a transactional execution
+// engine, and the conflict-resolution logic of the paper. All methods
+// run inside the event kernel (single-threaded).
+type Core struct {
+	id  int
+	m   *Machine
+	L1  *cache.Cache
+	rng *rng.Rand
+
+	regs [8]uint64
+
+	// Current transaction.
+	txActive bool
+	epoch    uint64 // bumped on commit/abort; stale timers check it
+	ops      []Op
+	think    sim.Time
+	pc       int
+	txStart  sim.Time
+	attempts int
+
+	// One outstanding memory request (blocking MSHR).
+	inflight       bool
+	restartPending bool
+
+	// committing marks the window between reaching the commit point
+	// and the commit completing. A transaction in this window has
+	// logically won: incoming conflicts are parked and served with
+	// committed data instead of aborting it (commit is locally
+	// atomic, as in real HTM commit pipelines).
+	committing bool
+
+	// Receiver-side grace state. gracePolicy is the policy chosen
+	// when the grace was armed (relevant with HybridPolicy, which
+	// picks per conflict by chain length).
+	graceArmed  bool
+	gracePolicy ccore.Policy
+	pending     []pendingConflict
+
+	// Stats.
+	commits, aborts, conflicts          uint64
+	graceCommits, nackAborts, capAborts uint64
+}
+
+func newCore(id int, m *Machine, r *rng.Rand) *Core {
+	return &Core{
+		id:  id,
+		m:   m,
+		L1:  cache.New(m.P.L1Sets, m.P.L1Ways),
+		rng: r,
+	}
+}
+
+// guard wraps a continuation so that it fires only if the transaction
+// epoch is unchanged (i.e. no commit/abort invalidated it).
+func (c *Core) guard(fn func()) func() {
+	e := c.epoch
+	return func() {
+		if c.epoch == e {
+			fn()
+		}
+	}
+}
+
+// start fetches the first transaction. Cores are staggered by their
+// id to avoid artificial lockstep.
+func (c *Core) start() {
+	c.m.K.After(sim.Time(c.id), c.nextTx)
+}
+
+func (c *Core) nextTx() {
+	if c.m.stopping {
+		return
+	}
+	tx := c.m.W.NextTx(c.id, c.rng)
+	c.ops = tx.Ops
+	c.think = tx.ThinkTime
+	c.attempts = 0
+	c.beginTx()
+}
+
+// beginTx (re)starts execution of the current op sequence.
+func (c *Core) beginTx() {
+	c.txActive = true
+	c.epoch++
+	c.pc = 0
+	c.txStart = c.m.K.Now()
+	c.regs = [8]uint64{}
+	c.step()
+}
+
+// step executes the op at pc, or commits when the body is done.
+func (c *Core) step() {
+	if !c.txActive {
+		return
+	}
+	if c.pc >= len(c.ops) {
+		c.committing = true
+		c.m.K.After(c.m.P.CommitLatency, c.guard(c.finishCommit))
+		return
+	}
+	op := c.ops[c.pc]
+	switch op.Kind {
+	case OpCompute:
+		c.pc++
+		c.m.K.After(op.Cycles, c.guard(c.step))
+	case OpRead, OpWrite:
+		c.access(op)
+	}
+}
+
+// access performs one memory op against the L1, issuing a coherence
+// request on a miss or upgrade. On a hit the op takes effect
+// atomically (tag check and data access are indivisible, as in real
+// hardware — otherwise a crossing fetch could steal the line before
+// the transactional bit is set, and two symmetric cores ping-pong a
+// contended line forever without a single conflict being detected);
+// the hit latency is charged before the next op starts.
+func (c *Core) access(op Op) {
+	la := cache.LineOf(op.EffectiveAddr(&c.regs))
+	line := c.L1.Peek(la)
+	write := op.Kind == OpWrite
+	if line != nil && (!write || line.State == cache.Modified) {
+		c.applyOp(op, line)
+		c.pc++
+		c.m.K.After(c.m.P.L1Latency, c.guard(c.step))
+		return
+	}
+	if line == nil {
+		nl, victim, evicted := c.L1.Insert(la)
+		if evicted {
+			if victim.State == cache.Modified && !victim.Tx {
+				c.sendWriteback(victim.Tag, victim.Data)
+			}
+			if victim.Tx {
+				// Algorithm 1, line 4: evicting a transactional
+				// line aborts the transaction.
+				c.capAborts++
+				c.doAbort()
+				return
+			}
+		}
+		nl.Pending = true
+	}
+	// Miss (fill) or upgrade (S->M): one blocking request.
+	c.sendRequest(la, write)
+}
+
+// applyOp performs the data movement of a memory op against a line
+// with sufficient permissions, marking it transactional.
+func (c *Core) applyOp(op Op, line *cache.Line) {
+	ea := op.EffectiveAddr(&c.regs)
+	line.Tx = true
+	w := cache.WordOf(ea)
+	if op.Kind == OpWrite {
+		val := op.Imm
+		if op.SrcReg >= 0 {
+			val += c.regs[op.SrcReg&7]
+		}
+		line.Data[w] = val
+		line.TxDirty = true
+	} else {
+		c.regs[op.Dst&7] = line.Data[w]
+	}
+}
+
+// sendRequest issues GetS/GetX to the directory.
+func (c *Core) sendRequest(la cache.LineAddr, write bool) {
+	c.inflight = true
+	req := &request{
+		core:    c.id,
+		write:   write,
+		reqTx:   c.txActive,
+		elapsed: c.m.K.Now() - c.txStart,
+		attempt: c.attempts,
+		la:      la,
+	}
+	if write {
+		c.m.count("core.getx")
+	} else {
+		c.m.count("core.gets")
+	}
+	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.Request(req) })
+}
+
+func (c *Core) sendWriteback(la cache.LineAddr, data [cache.WordsPerLine]uint64) {
+	c.m.count("core.writeback")
+	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.Writeback(c.id, la, data) })
+}
+
+// handleGrant receives data and permissions from the directory.
+func (c *Core) handleGrant(la cache.LineAddr, data [cache.WordsPerLine]uint64, write bool) {
+	c.inflight = false
+	line := c.L1.FindPending(la)
+	if line == nil {
+		line = c.L1.Peek(la) // upgrade grant: line is valid Shared
+	}
+	if line == nil {
+		nl, victim, evicted := c.L1.Insert(la)
+		if evicted {
+			if victim.State == cache.Modified && !victim.Tx {
+				c.sendWriteback(victim.Tag, victim.Data)
+			}
+			if victim.Tx && c.txActive {
+				c.capAborts++
+				// Fill first so the grant is not lost, then abort.
+				nl.State = grantState(write)
+				nl.Data = data
+				c.doAbort()
+				return
+			}
+		}
+		line = nl
+	}
+	line.Pending = false
+	line.Data = data
+	line.State = grantState(write)
+	if c.restartPending {
+		c.restartPending = false
+		c.scheduleRestart()
+		return
+	}
+	if !c.txActive {
+		return
+	}
+	// Complete the op that missed atomically with the fill, then
+	// charge the access latency before the next op.
+	c.applyOp(c.ops[c.pc], line)
+	c.pc++
+	c.m.K.After(c.m.P.L1Latency, c.guard(c.step))
+}
+
+func grantState(write bool) cache.State {
+	if write {
+		return cache.Modified
+	}
+	return cache.Shared
+}
+
+// handleNackAbort receives a requestor-aborts NACK: this core's
+// transaction loses the conflict and restarts.
+func (c *Core) handleNackAbort(la cache.LineAddr) {
+	c.inflight = false
+	c.nackAborts++
+	if line := c.L1.FindPending(la); line != nil {
+		*line = cache.Line{} // the fill will never arrive
+	}
+	if c.restartPending {
+		c.restartPending = false
+		c.scheduleRestart()
+		return
+	}
+	if c.txActive {
+		c.doAbort()
+	}
+}
+
+// handleFetch processes a directory forward for a line this core
+// (supposedly) owns in Modified state.
+func (c *Core) handleFetch(req *request, chain int) {
+	line := c.L1.Peek(req.la)
+	if line == nil || line.State != cache.Modified {
+		// Aborted (dropped) or evicted (writeback in flight).
+		c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.OwnerMiss(req, c.id) })
+		return
+	}
+	if line.Tx && c.txActive {
+		c.conflict(req, true, chain)
+		return
+	}
+	c.serveFetch(req, line)
+}
+
+// serveFetch replies with data, demoting or invalidating locally.
+func (c *Core) serveFetch(req *request, line *cache.Line) {
+	data := line.Data
+	if req.write {
+		c.L1.Invalidate(req.la)
+	} else {
+		line.State = cache.Shared
+	}
+	c.m.count("core.ownerreply")
+	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.OwnerReply(req, c.id, data) })
+}
+
+// handleInv processes an invalidation of a Shared line.
+func (c *Core) handleInv(req *request, chain int) {
+	line := c.L1.Peek(req.la)
+	if line == nil {
+		c.ackInv(req)
+		return
+	}
+	if line.Tx && c.txActive {
+		c.conflict(req, false, chain)
+		return
+	}
+	c.L1.Invalidate(req.la)
+	c.ackInv(req)
+}
+
+func (c *Core) ackInv(req *request) {
+	c.m.count("core.invack")
+	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.InvAck(req, c.id) })
+}
+
+func (c *Core) nackInv(req *request) {
+	c.m.count("core.invnack")
+	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.InvNack(req, c.id) })
+}
+
+// conflict is the paper's decision point: a remote request has hit a
+// transactional line. The receiving core picks a grace period via the
+// strategy and parks the request; per the model's assumption (b),
+// requests arriving during an ongoing grace period attach to it
+// rather than starting a new one.
+func (c *Core) conflict(req *request, isFetch bool, chain int) {
+	c.conflicts++
+	c.m.count("core.conflict")
+	c.pending = append(c.pending, pendingConflict{req: req, isFetch: isFetch})
+	if c.committing || c.graceArmed {
+		return
+	}
+	k := chain
+	if c.m.P.FixedChainK > 0 {
+		k = c.m.P.FixedChainK
+	}
+	if k < 2 {
+		k = 2
+	}
+	c.graceArmed = true
+	c.gracePolicy = c.policyFor(k)
+	x := c.graceDelay(req, k, c.gracePolicy)
+	if x <= 0 {
+		c.graceExpire()
+		return
+	}
+	c.m.K.After(x, c.guard(c.graceExpire))
+}
+
+// policyFor returns the resolution policy for a conflict of chain
+// length k: the configured one, or — under HybridPolicy — the paper's
+// Section 9 rule (requestor aborts for pair conflicts, requestor wins
+// for chains, matching the better competitive ratio).
+func (c *Core) policyFor(k int) ccore.Policy {
+	if !c.m.P.HybridPolicy {
+		return c.m.P.Policy
+	}
+	if k <= 2 {
+		return ccore.RequestorAborts
+	}
+	return ccore.RequestorWins
+}
+
+// graceDelay evaluates the strategy on the conflict parameters.
+func (c *Core) graceDelay(req *request, k int, pol ccore.Policy) sim.Time {
+	s := c.m.P.Strategy
+	if s == nil {
+		return 0
+	}
+	// B is the doomed transaction's abort cost: elapsed time plus
+	// cleanup (paper footnote 1) — the receiver's under requestor
+	// wins, the requestor's under requestor aborts. The FixedB
+	// ablation replaces it with a constant.
+	var b float64
+	var attempts int
+	if pol == ccore.RequestorWins {
+		b = float64(c.m.K.Now()-c.txStart) + float64(c.m.P.AbortPenalty)
+		attempts = c.attempts
+	} else {
+		b = float64(req.elapsed) + float64(c.m.P.AbortPenalty)
+		attempts = req.attempt
+	}
+	if c.m.P.FixedB > 0 {
+		b = c.m.P.FixedB
+	}
+	if c.m.P.BackoffFactor > 1 {
+		b = strategy.BackoffB(b, attempts, c.m.P.BackoffFactor, c.m.P.MaxBackoffB)
+	}
+	conf := ccore.Conflict{Policy: pol, K: k, B: b}
+	if c.m.P.UseMeanProfile {
+		conf.Mean = c.m.profileMean()
+	}
+	x := s.Delay(conf, c.rng)
+	if x < 0 {
+		x = 0
+	}
+	return sim.Time(x)
+}
+
+// graceExpire resolves all parked conflicts at the deadline:
+// requestor-wins aborts the receiver; requestor-aborts NACKs every
+// transactional requestor (and aborts the receiver anyway if some
+// requestor cannot abort, e.g. a non-transactional access).
+func (c *Core) graceExpire() {
+	c.graceArmed = false
+	if c.committing {
+		// Reached the commit point during the grace period: the
+		// receiver has won; parked requests are served at commit.
+		return
+	}
+	if c.gracePolicy == ccore.RequestorWins {
+		c.doAbort()
+		return
+	}
+	for _, p := range c.pending {
+		if !p.req.reqTx {
+			// Cannot NACK a non-transactional requestor; fall back
+			// to aborting the receiver, which serves everyone.
+			c.doAbort()
+			return
+		}
+	}
+	pend := c.pending
+	c.pending = nil
+	for _, p := range pend {
+		if p.isFetch {
+			req := p.req
+			c.m.count("core.ownernack")
+			c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.OwnerNack(req, c.id) })
+		} else {
+			c.nackInv(p.req)
+		}
+	}
+}
+
+// finishCommit completes the transaction: committed speculative data
+// is written back to the directory (keeping ownership), tx bits are
+// cleared, parked requests are served with the committed values.
+func (c *Core) finishCommit() {
+	c.commits++
+	if c.graceArmed || len(c.pending) > 0 {
+		c.graceCommits++
+	}
+	c.m.profileUpdate(float64(c.m.K.Now() - c.txStart))
+	c.L1.ForEach(func(l *cache.Line) {
+		if l.TxDirty {
+			la, data := l.Tag, l.Data
+			c.m.count("core.commitdata")
+			c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.CommitData(c.id, la, data) })
+		}
+	})
+	c.L1.ClearTxBits()
+	c.txActive = false
+	c.committing = false
+	c.graceArmed = false
+	c.epoch++
+	c.servePending(true)
+	c.m.K.After(c.think, c.nextTx)
+}
+
+// doAbort aborts the running transaction: speculative lines are
+// dropped (the directory copy is the committed value), parked
+// requests are released, and the transaction restarts after the
+// cleanup penalty — immediately, or once the in-flight request
+// returns.
+func (c *Core) doAbort() {
+	if !c.txActive {
+		return
+	}
+	c.aborts++
+	c.m.count("core.abort")
+	c.txActive = false
+	c.committing = false
+	c.epoch++
+	c.graceArmed = false
+	c.attempts++
+	// Notify the directory about dropped Modified lines so ownership
+	// does not dangle (Shared drops stay silent; the sharer mask is a
+	// conservative superset).
+	c.L1.ForEach(func(l *cache.Line) {
+		if l.Tx && l.State == cache.Modified {
+			la := l.Tag
+			c.m.count("core.dropowned")
+			c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.DropOwned(c.id, la) })
+		}
+	})
+	c.L1.DropTxLines()
+	c.servePending(false)
+	if c.inflight {
+		c.restartPending = true
+		return
+	}
+	c.scheduleRestart()
+}
+
+// scheduleRestart re-launches an aborted transaction after the
+// cleanup penalty plus a randomized exponential backoff. The
+// randomization de-convoys the restart herd: without it, an
+// all-readers-upgrade pattern (shared stack top) livelocks, every
+// winner being shot by the lockstep-restarting losers.
+func (c *Core) scheduleRestart() {
+	if c.m.stopping {
+		return
+	}
+	delay := c.m.P.AbortPenalty
+	if base := c.m.P.RestartBackoffBase; base > 0 {
+		shift := c.attempts
+		if shift > 10 {
+			shift = 10
+		}
+		limit := base << uint(shift)
+		if max := c.m.P.MaxRestartBackoff; max > 0 && limit > max {
+			limit = max
+		}
+		delay += sim.Time(c.rng.Uint64n(uint64(limit)))
+	}
+	c.m.K.After(delay, c.beginTx)
+}
+
+// servePending releases parked requests after commit (with data) or
+// abort (with OwnerMiss, since the lines were dropped).
+func (c *Core) servePending(committed bool) {
+	pend := c.pending
+	c.pending = nil
+	for _, p := range pend {
+		req := p.req
+		if p.isFetch {
+			line := c.L1.Peek(req.la)
+			if committed && line != nil && line.State == cache.Modified {
+				c.serveFetch(req, line)
+			} else {
+				c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.OwnerMiss(req, c.id) })
+			}
+		} else {
+			if committed {
+				c.L1.Invalidate(req.la)
+			}
+			c.ackInv(req)
+		}
+	}
+}

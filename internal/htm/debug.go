@@ -1,0 +1,32 @@
+package htm
+
+import (
+	"fmt"
+	"strings"
+
+	"txconflict/internal/cache"
+)
+
+// DebugState renders a human-readable snapshot of every core's
+// execution state and the directory's per-line records, for test
+// failure diagnostics and interactive debugging.
+func (m *Machine) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d pending-events=%d\n", m.K.Now(), m.K.Pending())
+	for _, c := range m.Cores {
+		fmt.Fprintf(&b, "core %d: tx=%v committing=%v pc=%d/%d inflight=%v restartPending=%v grace=%v pendingConflicts=%d commits=%d aborts=%d\n",
+			c.id, c.txActive, c.committing, c.pc, len(c.ops), c.inflight, c.restartPending, c.graceArmed, len(c.pending), c.commits, c.aborts)
+		c.L1.ForEach(func(l *cache.Line) {
+			if l.Valid() || l.Pending {
+				fmt.Fprintf(&b, "   line %d %s tx=%v txdirty=%v pending=%v\n", l.Tag, l.State, l.Tx, l.TxDirty, l.Pending)
+			}
+		})
+	}
+	for la, e := range m.Dir.entries {
+		if e.state != dirI || e.busy || len(e.queue) > 0 {
+			fmt.Fprintf(&b, "dir line %d: state=%d owner=%d sharers=%b busy=%v queue=%d\n",
+				la, e.state, e.owner, e.sharers, e.busy, len(e.queue))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,316 @@
+package htm
+
+import (
+	"txconflict/internal/cache"
+	"txconflict/internal/sim"
+)
+
+// dirState is the directory's view of a line.
+type dirState uint8
+
+const (
+	dirI dirState = iota // no cached copies
+	dirS                 // one or more read-only copies
+	dirM                 // exactly one (believed) owner
+)
+
+// request is one outstanding coherence request at the directory.
+type request struct {
+	core    int
+	write   bool
+	reqTx   bool     // requestor is inside a transaction
+	elapsed sim.Time // requestor's transaction elapsed cycles (for RA cost)
+	attempt int      // requestor's abort count (for RA backoff)
+	la      cache.LineAddr
+
+	acksLeft int
+	nacked   bool
+}
+
+// dirEntry is the directory record for one line. The directory also
+// holds the authoritative memory copy of the line's data: committed
+// values always reach the directory (commit writebacks and eviction
+// writebacks), while speculative values never do, so an aborting core
+// can silently drop its transactional lines.
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitmask over cores
+	data    [cache.WordsPerLine]uint64
+	busy    bool
+	queue   []*request
+}
+
+// Directory is the home node of all lines (modeling the shared L2 /
+// memory controller). Requests for the same line are serialized:
+// while one is in flight the rest wait in a per-line FIFO — this is
+// what turns simultaneous conflicting transactions into the paper's
+// conflict *chains* (the queue length is the k-2 extra waiters).
+type Directory struct {
+	m       *Machine
+	entries map[cache.LineAddr]*dirEntry
+}
+
+func newDirectory(m *Machine) *Directory {
+	return &Directory{m: m, entries: make(map[cache.LineAddr]*dirEntry)}
+}
+
+func (d *Directory) entry(la cache.LineAddr) *dirEntry {
+	e, ok := d.entries[la]
+	if !ok {
+		e = &dirEntry{state: dirI}
+		d.entries[la] = e
+	}
+	return e
+}
+
+// ReadWord returns the directory's committed value of a word; tests
+// use it to check end-to-end memory semantics.
+func (d *Directory) ReadWord(byteAddr uint64) uint64 {
+	e := d.entry(cache.LineOf(byteAddr))
+	return e.data[cache.WordOf(byteAddr)]
+}
+
+// queueLen returns the number of requests waiting on the line,
+// including the one in flight. The conflict chain length presented to
+// strategies is 2 + (waiters behind the current request).
+func (d *Directory) queueLen(la cache.LineAddr) int {
+	return len(d.entry(la).queue)
+}
+
+// Request is the arrival point of GetS/GetX messages.
+func (d *Directory) Request(req *request) {
+	d.m.count("dir.request")
+	e := d.entry(req.la)
+	if e.busy {
+		e.queue = append(e.queue, req)
+		return
+	}
+	e.busy = true
+	d.begin(e, req)
+}
+
+// begin dispatches a request against the current entry state. Called
+// with e.busy held by req.
+func (d *Directory) begin(e *dirEntry, req *request) {
+	switch e.state {
+	case dirI:
+		if req.write {
+			e.state = dirM
+			e.owner = req.core
+			e.sharers = 0
+		} else {
+			e.state = dirS
+			e.sharers |= 1 << uint(req.core)
+		}
+		d.grant(e, req)
+	case dirS:
+		if !req.write {
+			e.sharers |= 1 << uint(req.core)
+			d.grant(e, req)
+			return
+		}
+		// Invalidate all sharers except the requestor.
+		targets := e.sharers &^ (1 << uint(req.core))
+		if targets == 0 {
+			e.state = dirM
+			e.owner = req.core
+			e.sharers = 0
+			d.grant(e, req)
+			return
+		}
+		req.acksLeft = popcount(targets)
+		req.nacked = false
+		chain := 2 + len(e.queue)
+		for c := 0; c < d.m.P.Cores; c++ {
+			if targets&(1<<uint(c)) != 0 {
+				c := c
+				d.m.count("dir.inv")
+				d.m.K.After(d.m.coreDirLatency(c), func() {
+					d.m.Cores[c].handleInv(req, chain)
+				})
+			}
+		}
+	case dirM:
+		if e.owner == req.core {
+			// The owner's eviction writeback is still in flight;
+			// retry once it lands.
+			d.m.count("dir.retry")
+			d.m.K.After(2*d.m.coreDirLatency(req.core), func() { d.begin(e, req) })
+			return
+		}
+		owner := e.owner
+		chain := 2 + len(e.queue)
+		d.m.count("dir.fetch")
+		d.m.K.After(d.m.coreDirLatency(owner), func() {
+			d.m.Cores[owner].handleFetch(req, chain)
+		})
+	}
+}
+
+// InvAck is a sharer's acknowledgment of an invalidation (possibly
+// after a grace period and a receiver abort).
+func (d *Directory) InvAck(req *request, from int) {
+	d.m.count("dir.invack")
+	e := d.entry(req.la)
+	e.sharers &^= 1 << uint(from)
+	req.acksLeft--
+	d.maybeFinishInv(e, req)
+}
+
+// InvNack is a transactional sharer's refusal (requestor-aborts
+// policy): the sharer keeps its line and the requestor must abort.
+func (d *Directory) InvNack(req *request, from int) {
+	d.m.count("dir.invnack")
+	req.nacked = true
+	req.acksLeft--
+	d.maybeFinishInv(d.entry(req.la), req)
+}
+
+func (d *Directory) maybeFinishInv(e *dirEntry, req *request) {
+	if req.acksLeft > 0 {
+		return
+	}
+	if req.nacked {
+		d.fail(e, req)
+		return
+	}
+	e.state = dirM
+	e.owner = req.core
+	e.sharers = 0
+	d.grant(e, req)
+}
+
+// OwnerReply carries the owner's current data for a fetched line. For
+// a write fetch the owner has invalidated its copy; for a read fetch
+// it demoted to Shared.
+func (d *Directory) OwnerReply(req *request, from int, data [cache.WordsPerLine]uint64) {
+	d.m.count("dir.ownerreply")
+	e := d.entry(req.la)
+	e.data = data
+	if req.write {
+		e.state = dirM
+		e.owner = req.core
+		e.sharers = 0
+	} else {
+		e.state = dirS
+		e.sharers = 1<<uint(from) | 1<<uint(req.core)
+	}
+	d.grant(e, req)
+}
+
+// OwnerNack is the owner's refusal under requestor-aborts: the owner
+// keeps the line and the requestor aborts.
+func (d *Directory) OwnerNack(req *request, from int) {
+	d.m.count("dir.ownernack")
+	d.fail(d.entry(req.la), req)
+}
+
+// OwnerMiss reports that the believed owner no longer holds the line
+// (it aborted and dropped it, or evicted it — the writeback either
+// has arrived, clearing dirM, or is about to). Ownership is cleared
+// and the request re-dispatched; the directory copy is authoritative.
+func (d *Directory) OwnerMiss(req *request, from int) {
+	d.m.count("dir.ownermiss")
+	e := d.entry(req.la)
+	if e.state == dirM && e.owner == from {
+		e.state = dirI
+		e.sharers = 0
+	}
+	d.begin(e, req)
+}
+
+// DropOwned is an aborting core's notification that it discarded a
+// Modified transactional line without writeback (the directory copy
+// is the committed value). Without this, the directory would believe
+// the core still owns the line and a re-request from the same core
+// would retry forever.
+func (d *Directory) DropOwned(from int, la cache.LineAddr) {
+	d.m.count("dir.dropowned")
+	e := d.entry(la)
+	if e.state == dirM && e.owner == from {
+		e.state = dirI
+		e.sharers = 0
+	}
+}
+
+// Writeback handles an eviction writeback of a Modified line. Stale
+// writebacks (ownership already moved) are ignored: the data traveled
+// with the intervening fetch reply instead.
+func (d *Directory) Writeback(from int, la cache.LineAddr, data [cache.WordsPerLine]uint64) {
+	d.m.count("dir.writeback")
+	e := d.entry(la)
+	if e.state == dirM && e.owner == from {
+		e.data = data
+		e.state = dirI
+		e.sharers = 0
+	}
+}
+
+// CommitData updates the authoritative copy with a committed
+// speculative write; the core keeps the line in Modified state.
+// Stale updates (ownership moved between commit and arrival) are
+// dropped — the fetch that moved ownership carried the same data.
+func (d *Directory) CommitData(from int, la cache.LineAddr, data [cache.WordsPerLine]uint64) {
+	d.m.count("dir.commitdata")
+	e := d.entry(la)
+	if e.state == dirM && e.owner == from {
+		e.data = data
+	}
+}
+
+// grant completes a request successfully, shipping data and the new
+// state to the requestor.
+func (d *Directory) grant(e *dirEntry, req *request) {
+	d.m.count("dir.grant")
+	data := e.data
+	write := req.write
+	c := req.core
+	la := req.la
+	d.m.K.After(d.m.coreDirLatency(c), func() {
+		d.m.Cores[c].handleGrant(la, data, write)
+	})
+	d.finish(e)
+}
+
+// fail completes a request with a NACK-abort: the requestor's
+// transaction must abort (requestor-aborts resolution).
+func (d *Directory) fail(e *dirEntry, req *request) {
+	d.m.count("dir.fail")
+	c := req.core
+	la := req.la
+	d.m.K.After(d.m.coreDirLatency(c), func() {
+		d.m.Cores[c].handleNackAbort(la)
+	})
+	d.finish(e)
+}
+
+// finish releases the per-line serialization and starts the next
+// queued request.
+func (d *Directory) finish(e *dirEntry) {
+	if len(e.queue) == 0 {
+		e.busy = false
+		return
+	}
+	next := e.queue[0]
+	e.queue = e.queue[1:]
+	d.m.K.After(d.m.P.DirLatency, func() { d.begin(e, next) })
+}
+
+// popcount counts set bits.
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// CheckInvariants verifies directory/cache consistency: at most one
+// believed owner, directory sharer sets are supersets of actual
+// cached copies, and no line is cached Modified in two cores. Tests
+// call it after (and during) runs.
+func (d *Directory) CheckInvariants() error {
+	return d.m.checkCoherence()
+}

@@ -1,0 +1,123 @@
+package htm
+
+import (
+	"testing"
+
+	ccore "txconflict/internal/core"
+	"txconflict/internal/strategy"
+)
+
+func TestHybridPolicySerializability(t *testing.T) {
+	p := DefaultParams(8)
+	p.HybridPolicy = true
+	p.Strategy = strategy.Hybrid{}
+	m := NewMachine(p, counterWorkload(40, 5))
+	m.Run(300000)
+	met := m.Drain()
+	if met.Commits == 0 {
+		t.Fatal("no commits under hybrid policy")
+	}
+	if got := m.Dir.ReadWord(0); got != uint64(met.Commits) {
+		t.Fatalf("hybrid run lost updates: %d vs %d", got, met.Commits)
+	}
+	if err := m.checkCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridUsesBothResolutions(t *testing.T) {
+	// Heavy contention produces both pair conflicts (k=2 -> RA ->
+	// NACK aborts) and chains (k>2 -> RW -> receiver aborts), so a
+	// hybrid run should show NACK aborts and other aborts.
+	p := DefaultParams(12)
+	p.HybridPolicy = true
+	p.Strategy = strategy.Hybrid{}
+	m := NewMachine(p, counterWorkload(60, 0))
+	met := m.Run(500000)
+	if met.NackAborts == 0 {
+		t.Error("hybrid never used requestor-aborts resolution")
+	}
+	if met.Aborts <= met.NackAborts+met.CapacityAborts {
+		t.Error("hybrid never used requestor-wins resolution")
+	}
+}
+
+func TestPolicyForRule(t *testing.T) {
+	p := DefaultParams(2)
+	p.HybridPolicy = true
+	m := NewMachine(p, counterWorkload(1, 1))
+	c := m.Cores[0]
+	if c.policyFor(2) != ccore.RequestorAborts {
+		t.Fatal("k=2 should be requestor aborts")
+	}
+	if c.policyFor(3) != ccore.RequestorWins {
+		t.Fatal("k=3 should be requestor wins")
+	}
+	p2 := DefaultParams(2)
+	p2.Policy = ccore.RequestorAborts
+	m2 := NewMachine(p2, counterWorkload(1, 1))
+	if m2.Cores[0].policyFor(5) != ccore.RequestorAborts {
+		t.Fatal("non-hybrid must keep the configured policy")
+	}
+}
+
+func TestFixedBAblation(t *testing.T) {
+	p := DefaultParams(8)
+	p.Strategy = strategy.UniformRW{}
+	p.FixedB = 500
+	m := NewMachine(p, counterWorkload(40, 5))
+	m.Run(300000)
+	met := m.Drain()
+	if met.Commits == 0 {
+		t.Fatal("no commits with FixedB")
+	}
+	if got := m.Dir.ReadWord(0); got != uint64(met.Commits) {
+		t.Fatalf("FixedB run lost updates: %d vs %d", got, met.Commits)
+	}
+}
+
+func TestMeshTopology(t *testing.T) {
+	p := DefaultParams(8)
+	p.MeshDim = 3 // 3x3 grid, 8 cores + center directory
+	p.Strategy = strategy.UniformRW{}
+	m := NewMachine(p, counterWorkload(40, 5))
+	// Latency sanity: the center tile (core 4 at (1,1)) is closest.
+	if m.coreDirLatency(4) != p.NetLatency {
+		t.Fatalf("center tile latency %d, want %d", m.coreDirLatency(4), p.NetLatency)
+	}
+	if m.coreDirLatency(0) != m.P.NetLatency+2*m.P.HopLatency {
+		t.Fatalf("corner tile latency %d", m.coreDirLatency(0))
+	}
+	m.Run(300000)
+	met := m.Drain()
+	if met.Commits == 0 {
+		t.Fatal("no commits on mesh")
+	}
+	if got := m.Dir.ReadWord(0); got != uint64(met.Commits) {
+		t.Fatalf("mesh run lost updates: %d vs %d", got, met.Commits)
+	}
+	if err := m.checkCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized mesh accepted")
+		}
+	}()
+	p := DefaultParams(16)
+	p.MeshDim = 3 // 9 tiles < 16 cores
+	NewMachine(p, counterWorkload(1, 1))
+}
+
+func TestMeshUniformWhenDisabled(t *testing.T) {
+	p := DefaultParams(4)
+	m := NewMachine(p, counterWorkload(1, 1))
+	for i := 0; i < 4; i++ {
+		if m.coreDirLatency(i) != p.NetLatency {
+			t.Fatalf("core %d latency %d without mesh", i, m.coreDirLatency(i))
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package htm
+
+import (
+	"fmt"
+
+	"txconflict/internal/cache"
+	"txconflict/internal/rng"
+	"txconflict/internal/sim"
+)
+
+// Machine assembles cores, directory and the event kernel into a
+// runnable multicore HTM simulation.
+type Machine struct {
+	K     *sim.Kernel
+	P     Params
+	Dir   *Directory
+	Cores []*Core
+	W     Workload
+
+	msgs map[string]uint64
+
+	profMean float64
+	profInit bool
+	stopping bool
+}
+
+// NewMachine builds a machine for the given parameters and workload.
+func NewMachine(p Params, w Workload) *Machine {
+	p.validate()
+	m := &Machine{
+		K:    &sim.Kernel{},
+		P:    p,
+		W:    w,
+		msgs: make(map[string]uint64),
+	}
+	m.Dir = newDirectory(m)
+	root := rng.New(p.Seed)
+	for i := 0; i < p.Cores; i++ {
+		m.Cores = append(m.Cores, newCore(i, m, root.Split()))
+	}
+	return m
+}
+
+func (m *Machine) count(name string) { m.msgs[name]++ }
+
+// coreDirLatency returns the one-way message latency between a core
+// and the directory: uniform NetLatency, or distance-dependent when a
+// mesh topology is configured (cores on a MeshDim² grid, directory at
+// the center tile).
+func (m *Machine) coreDirLatency(core int) sim.Time {
+	if m.P.MeshDim == 0 {
+		return m.P.NetLatency
+	}
+	d := m.P.MeshDim
+	x, y := core%d, core/d
+	cx, cy := d/2, d/2
+	hops := absInt(x-cx) + absInt(y-cy)
+	return m.P.NetLatency + sim.Time(hops)*m.P.HopLatency
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// profileUpdate feeds a committed transaction length into the
+// exponentially weighted running mean (the "profiler" of Section 1).
+func (m *Machine) profileUpdate(execLen float64) {
+	const alpha = 0.1
+	if !m.profInit {
+		m.profMean = execLen
+		m.profInit = true
+		return
+	}
+	m.profMean += alpha * (execLen - m.profMean)
+}
+
+// profileMean returns the profiler's mean estimate (0 = unknown).
+func (m *Machine) profileMean() float64 {
+	if !m.profInit {
+		return 0
+	}
+	return m.profMean
+}
+
+// Run simulates for the given number of cycles and returns metrics.
+func (m *Machine) Run(cycles sim.Time) Metrics {
+	for _, c := range m.Cores {
+		c.start()
+	}
+	m.K.RunUntil(cycles)
+	return m.Collect()
+}
+
+// Drain stops cores from starting new transactions (and from
+// restarting aborted ones — without this, a NO_DELAY run under heavy
+// contention can livelock forever, transactions endlessly shooting
+// each other down) and runs the kernel until every in-flight
+// transaction and message settles. Tests use it to compare the
+// directory's committed memory image against commit counts exactly.
+func (m *Machine) Drain() Metrics {
+	m.stopping = true
+	m.K.Run()
+	return m.Collect()
+}
+
+// Collect snapshots metrics without advancing the simulation.
+func (m *Machine) Collect() Metrics {
+	met := Metrics{
+		Cycles:   m.K.Now(),
+		Messages: make(map[string]uint64, len(m.msgs)),
+	}
+	for k, v := range m.msgs {
+		met.Messages[k] = v
+	}
+	for _, c := range m.Cores {
+		met.Commits += c.commits
+		met.Aborts += c.aborts
+		met.Conflicts += c.conflicts
+		met.GraceCommits += c.graceCommits
+		met.NackAborts += c.nackAborts
+		met.CapacityAborts += c.capAborts
+		met.PerCoreCommits = append(met.PerCoreCommits, c.commits)
+	}
+	met.MeanTxCycles = m.profileMean()
+	return met
+}
+
+// checkCoherence verifies the protocol invariants that must hold at
+// every instant, even with messages in flight:
+//
+//  1. at most one core caches any line in Modified state;
+//  2. a Modified copy excludes all other valid copies;
+//  3. a Modified copy implies the directory believes that core owns
+//     the line;
+//  4. a Shared copy implies the core is in the directory's sharer set
+//     (or is the still-believed owner during a demote-in-flight).
+func (m *Machine) checkCoherence() error {
+	type holder struct {
+		core  int
+		state cache.State
+	}
+	holders := make(map[cache.LineAddr][]holder)
+	for _, c := range m.Cores {
+		c.L1.ForEach(func(l *cache.Line) {
+			holders[l.Tag] = append(holders[l.Tag], holder{c.id, l.State})
+		})
+	}
+	for la, hs := range holders {
+		modified := -1
+		for _, h := range hs {
+			if h.state == cache.Modified {
+				if modified >= 0 {
+					return fmt.Errorf("line %d: modified in cores %d and %d", la, modified, h.core)
+				}
+				modified = h.core
+			}
+		}
+		if modified >= 0 && len(hs) > 1 {
+			return fmt.Errorf("line %d: modified in core %d alongside %d other copies", la, modified, len(hs)-1)
+		}
+		e := m.Dir.entry(la)
+		if modified >= 0 {
+			if e.state != dirM || e.owner != modified {
+				return fmt.Errorf("line %d: core %d has M but directory state=%d owner=%d", la, modified, e.state, e.owner)
+			}
+		}
+		for _, h := range hs {
+			if h.state != cache.Shared {
+				continue
+			}
+			inSharers := e.state == dirS && e.sharers&(1<<uint(h.core)) != 0
+			demoteWindow := e.state == dirM && e.owner == h.core
+			if !inSharers && !demoteWindow {
+				return fmt.Errorf("line %d: core %d has S but directory disagrees (state=%d sharers=%b owner=%d)", la, h.core, e.state, e.sharers, e.owner)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package htm
+
+import (
+	"txconflict/internal/rng"
+	"txconflict/internal/sim"
+)
+
+// OpKind distinguishes transaction operations.
+type OpKind uint8
+
+const (
+	// OpRead loads the word at Addr into register Dst.
+	OpRead OpKind = iota
+	// OpWrite stores (regs[SrcReg] + Imm) to the word at Addr; with
+	// SrcReg < 0 the stored value is just Imm.
+	OpWrite
+	// OpCompute spins for Cycles cycles without memory traffic.
+	OpCompute
+)
+
+// Op is one step of a transaction body. Transactions are replayable
+// op sequences: on abort the core re-executes the same ops with a
+// fresh register file.
+//
+// Addressing is either static (AddrReg < 0: the effective address is
+// Addr) or register-indirect (AddrReg >= 0: the effective address is
+// Addr + (regs[AddrReg] & AddrMask)), which lets workloads express
+// pointer-chasing structures like stacks and ring-buffer queues.
+type Op struct {
+	Kind     OpKind
+	Addr     uint64
+	AddrReg  int
+	AddrMask uint64
+	Cycles   sim.Time
+	Dst      int
+	SrcReg   int
+	Imm      uint64
+}
+
+// EffectiveAddr computes the byte address against a register file.
+func (op Op) EffectiveAddr(regs *[8]uint64) uint64 {
+	if op.AddrReg < 0 {
+		return op.Addr
+	}
+	return op.Addr + (regs[op.AddrReg&7] & op.AddrMask)
+}
+
+// Read constructs a load of Addr into register dst.
+func Read(addr uint64, dst int) Op {
+	return Op{Kind: OpRead, Addr: addr, AddrReg: -1, Dst: dst}
+}
+
+// ReadAt constructs a load from base + (regs[reg] & mask) into
+// register dst.
+func ReadAt(base uint64, reg int, mask uint64, dst int) Op {
+	return Op{Kind: OpRead, Addr: base, AddrReg: reg, AddrMask: mask, Dst: dst}
+}
+
+// Write constructs a store of regs[src]+imm to Addr.
+func Write(addr uint64, src int, imm uint64) Op {
+	return Op{Kind: OpWrite, Addr: addr, AddrReg: -1, SrcReg: src, Imm: imm}
+}
+
+// WriteAt constructs a store of regs[src]+imm to
+// base + (regs[reg] & mask).
+func WriteAt(base uint64, reg int, mask uint64, src int, imm uint64) Op {
+	return Op{Kind: OpWrite, Addr: base, AddrReg: reg, AddrMask: mask, SrcReg: src, Imm: imm}
+}
+
+// WriteImm constructs a store of the constant imm to Addr.
+func WriteImm(addr uint64, imm uint64) Op {
+	return Op{Kind: OpWrite, Addr: addr, AddrReg: -1, SrcReg: -1, Imm: imm}
+}
+
+// Compute constructs a pure-compute step of the given cycles.
+func Compute(cycles sim.Time) Op { return Op{Kind: OpCompute, AddrReg: -1, Cycles: cycles} }
+
+// Tx is one transaction instance plus the non-transactional think
+// time that follows it.
+type Tx struct {
+	Ops []Op
+	// ThinkTime is the non-transactional compute executed after the
+	// transaction commits, before the next one starts.
+	ThinkTime sim.Time
+}
+
+// Len returns the isolated execution length of the transaction in
+// cycles, counting compute plus one L1 hit per memory op (the
+// commit cost ρ of Section 6, up to cache misses).
+func (t Tx) Len(l1Latency sim.Time) sim.Time {
+	var total sim.Time
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case OpCompute:
+			total += op.Cycles
+		default:
+			total += l1Latency
+		}
+	}
+	return total
+}
+
+// Workload supplies each core with an endless stream of transactions
+// (the model of Section 3.2: "each [thread] has a virtually infinite
+// sequence of transactions to execute").
+type Workload interface {
+	// NextTx returns the next transaction for the given core.
+	NextTx(coreID int, r *rng.Rand) Tx
+	// Name identifies the workload in tables.
+	Name() string
+}
+
+// WorkloadFunc adapts a function to the Workload interface.
+type WorkloadFunc struct {
+	F func(coreID int, r *rng.Rand) Tx
+	N string
+}
+
+// NextTx implements Workload.
+func (w WorkloadFunc) NextTx(coreID int, r *rng.Rand) Tx { return w.F(coreID, r) }
+
+// Name implements Workload.
+func (w WorkloadFunc) Name() string { return w.N }

@@ -1,0 +1,120 @@
+// Package lockfree provides the lock-free data structures the paper's
+// benchmarks use as slow-path backups (Section 8.2): a Treiber stack
+// and a Michael–Scott queue. They also serve as non-transactional
+// baselines in the throughput comparisons.
+package lockfree
+
+import "sync/atomic"
+
+// Stack is a Treiber stack. The zero value is an empty stack.
+type Stack[T any] struct {
+	head atomic.Pointer[snode[T]]
+	size atomic.Int64
+}
+
+type snode[T any] struct {
+	v    T
+	next *snode[T]
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(v T) {
+	n := &snode[T]{v: v}
+	for {
+		old := s.head.Load()
+		n.next = old
+		if s.head.CompareAndSwap(old, n) {
+			s.size.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top element; ok is false when empty.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	for {
+		old := s.head.Load()
+		if old == nil {
+			return v, false
+		}
+		if s.head.CompareAndSwap(old, old.next) {
+			s.size.Add(-1)
+			return old.v, true
+		}
+	}
+}
+
+// Len returns the approximate number of elements.
+func (s *Stack[T]) Len() int { return int(s.size.Load()) }
+
+// Queue is a Michael–Scott queue. Use NewQueue to create one.
+type Queue[T any] struct {
+	head atomic.Pointer[qnode[T]]
+	tail atomic.Pointer[qnode[T]]
+	size atomic.Int64
+}
+
+type qnode[T any] struct {
+	v    T
+	next atomic.Pointer[qnode[T]]
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &qnode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v to the tail.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &qnode[T]{v: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail is lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the head element; ok is false when
+// empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return v, false // empty
+		}
+		if head == tail {
+			// Tail lagging behind a non-empty queue; help.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		val := next.v
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			return val, true
+		}
+	}
+}
+
+// Len returns the approximate number of elements.
+func (q *Queue[T]) Len() int { return int(q.size.Load()) }

@@ -1,0 +1,252 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStackSequentialLIFO(t *testing.T) {
+	var s Stack[int]
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		s.Push(i)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := 9; i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("drained stack still pops")
+	}
+}
+
+func TestQueueSequentialFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue still dequeues")
+	}
+}
+
+// TestStackConcurrentConservation pushes a known multiset from many
+// goroutines while others pop; every pushed element must be popped
+// exactly once (counting the leftovers).
+func TestStackConcurrentConservation(t *testing.T) {
+	var s Stack[int]
+	const producers, consumers, perP = 4, 4, 5000
+	var wg sync.WaitGroup
+	popped := make([]map[int]int, consumers)
+	for c := 0; c < consumers; c++ {
+		popped[c] = make(map[int]int)
+	}
+	done := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				s.Push(p*perP + i)
+			}
+		}()
+	}
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		c := c
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := s.Pop()
+				if ok {
+					popped[c][v]++
+					continue
+				}
+				select {
+				case <-done:
+					// Drain whatever remains, then exit.
+					for {
+						v, ok := s.Pop()
+						if !ok {
+							return
+						}
+						popped[c][v]++
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	seen := make(map[int]int)
+	for c := 0; c < consumers; c++ {
+		for v, n := range popped[c] {
+			seen[v] += n
+		}
+	}
+	if len(seen) != producers*perP {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), producers*perP)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+}
+
+// TestQueueConcurrentFIFOPerProducer checks per-producer FIFO order:
+// elements from one producer must be dequeued in production order.
+func TestQueueConcurrentFIFOPerProducer(t *testing.T) {
+	q := NewQueue[[2]int]() // (producer, seq)
+	const producers, perP = 4, 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue([2]int{p, i})
+			}
+		}()
+	}
+	wg.Wait()
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	count := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		count++
+		if v[1] <= lastSeq[v[0]] {
+			t.Fatalf("producer %d order violated: %d after %d", v[0], v[1], lastSeq[v[0]])
+		}
+		lastSeq[v[0]] = v[1]
+	}
+	if count != producers*perP {
+		t.Fatalf("dequeued %d, want %d", count, producers*perP)
+	}
+}
+
+// TestQueueConcurrentProducersConsumers runs enqueues and dequeues
+// concurrently and verifies conservation.
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int]()
+	const producers, consumers, perP = 4, 4, 5000
+	var pg, cg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	done := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		p := p
+		pg.Add(1)
+		go func() {
+			defer pg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(p*perP + i)
+			}
+		}()
+	}
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			local := make(map[int]int)
+			for {
+				v, ok := q.Dequeue()
+				if ok {
+					local[v]++
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							mu.Lock()
+							for k, n := range local {
+								seen[k] += n
+							}
+							mu.Unlock()
+							return
+						}
+						local[v]++
+					}
+				default:
+				}
+			}
+		}()
+	}
+	pg.Wait()
+	close(done)
+	cg.Wait()
+	if len(seen) != producers*perP {
+		t.Fatalf("consumed %d distinct, want %d", len(seen), producers*perP)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}
+
+func TestGenericTypes(t *testing.T) {
+	var s Stack[string]
+	s.Push("a")
+	s.Push("b")
+	if v, _ := s.Pop(); v != "b" {
+		t.Fatal("generic stack broken")
+	}
+	q := NewQueue[struct{ X, Y int }]()
+	q.Enqueue(struct{ X, Y int }{1, 2})
+	if v, _ := q.Dequeue(); v.X != 1 || v.Y != 2 {
+		t.Fatal("generic queue broken")
+	}
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	var s Stack[int]
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Push(1)
+			s.Pop()
+		}
+	})
+}
+
+func BenchmarkQueueEnqDeq(b *testing.B) {
+	q := NewQueue[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+			q.Dequeue()
+		}
+	})
+}

@@ -1,0 +1,115 @@
+// Package sim provides the discrete-event simulation kernel
+// underlying the multicore/HTM model (the stand-in for the MIT
+// Graphite simulator used in the paper's Section 8.2).
+//
+// Time is measured in abstract cycles (uint64). Events scheduled for
+// the same cycle fire in scheduling order (deterministic FIFO
+// tie-breaking), which makes every simulation reproducible from its
+// seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in cycles.
+type Time = uint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-cycle events
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event simulator. The zero
+// value is ready to use.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the currently executing event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step fires the single next event, advancing the clock. It reports
+// whether an event was fired.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.events).(*event)
+	k.now = ev.at
+	k.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= limit (or until Stop), then
+// advances the clock to limit if it hasn't passed it already.
+func (k *Kernel) RunUntil(limit Time) {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.events) == 0 || k.events[0].at > limit {
+			break
+		}
+		k.Step()
+	}
+	if k.now < limit {
+		k.now = limit
+	}
+}

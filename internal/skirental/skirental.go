@@ -1,0 +1,171 @@
+// Package skirental implements the classic ski-rental problem and its
+// known optimal algorithms (Section 3.3 of the paper): the
+// 2-competitive deterministic rule, Karlin et al.'s e/(e-1)
+// randomized strategy (Theorem 1), and the mean-constrained variant
+// of Khanafer et al. (Theorem 2).
+//
+// The package exists to validate the paper's reduction (Section 4.2):
+// the requestor-aborts transactional conflict problem with k = 2 maps
+// exactly onto ski rental, so internal/strategy.ExpRA and this
+// package's randomized buyer must produce identical cost profiles.
+package skirental
+
+import (
+	"math"
+
+	"txconflict/internal/rng"
+)
+
+// Instance describes one ski-rental instance: renting costs 1 per
+// day, buying costs B.
+type Instance struct {
+	// B is the purchase price in rental-day units; B >= 1.
+	B int
+}
+
+// Cost returns the total cost of buying at the start of day `buy`
+// (1-indexed; buy > days means never buying) for a trip of `days`
+// days: rentals for the days skied before the purchase, plus B if the
+// purchase happened on or before the last day.
+func (in Instance) Cost(buy, days int) int {
+	if buy > days {
+		return days
+	}
+	return (buy - 1) + in.B
+}
+
+// OptCost is the offline optimum min(days, B).
+func (in Instance) OptCost(days int) int {
+	if days < in.B {
+		return days
+	}
+	return in.B
+}
+
+// Buyer decides, before the trip, the day on which to buy.
+type Buyer interface {
+	// BuyDay returns the (1-indexed) day on which skis are bought;
+	// values beyond the horizon mean renting forever.
+	BuyDay(in Instance, r *rng.Rand) int
+	// Name identifies the algorithm.
+	Name() string
+}
+
+// Deterministic buys on day B, the classic (2 - 1/B)-competitive
+// break-even rule.
+type Deterministic struct{}
+
+// BuyDay returns B.
+func (Deterministic) BuyDay(in Instance, _ *rng.Rand) int { return in.B }
+
+// Name implements Buyer.
+func (Deterministic) Name() string { return "DET" }
+
+// Ratio returns the worst-case competitive ratio 2 - 1/B.
+func (Deterministic) Ratio(in Instance) float64 { return 2 - 1/float64(in.B) }
+
+// Randomized is Theorem 1's optimal randomized strategy: buy on day i
+// with probability
+//
+//	p_i = ((B-1)/B)^{B-i} / (B (1 - (1-1/B)^B)),  1 <= i <= B,
+//
+// achieving expected cost (e/(e-1))·min(D, B) as B grows.
+type Randomized struct{}
+
+// Name implements Buyer.
+func (Randomized) Name() string { return "RAND" }
+
+// probs returns the buy-day distribution p_1..p_B.
+func (Randomized) probs(in Instance) []float64 {
+	b := in.B
+	bf := float64(b)
+	norm := bf * (1 - math.Pow(1-1/bf, bf))
+	p := make([]float64, b)
+	for i := 1; i <= b; i++ {
+		p[i-1] = math.Pow((bf-1)/bf, bf-float64(i)) / norm
+	}
+	return p
+}
+
+// BuyDay samples from the Theorem 1 distribution.
+func (rz Randomized) BuyDay(in Instance, r *rng.Rand) int {
+	u := r.Float64()
+	acc := 0.0
+	for i, p := range rz.probs(in) {
+		acc += p
+		if u < acc {
+			return i + 1
+		}
+	}
+	return in.B
+}
+
+// Ratio returns the asymptotic competitive ratio e/(e-1).
+func (Randomized) Ratio(Instance) float64 { return math.E / (math.E - 1) }
+
+// MeanConstrained is Theorem 2's strategy: when the adversary's mean
+// trip length µ satisfies µ/B < 2(e-2)/(e-1), buy-day density
+// p(x) = (e^{x/B} - 1)/(B(e-2)) on [0, B] improves the ratio to
+// 1 + µ/(2B(e-2)); otherwise fall back to Randomized.
+type MeanConstrained struct {
+	// Mu is the known mean of the adversarial distribution.
+	Mu float64
+}
+
+// Name implements Buyer.
+func (MeanConstrained) Name() string { return "RAND(mu)" }
+
+// constrained reports whether the improved corner applies.
+func (m MeanConstrained) constrained(in Instance) bool {
+	return m.Mu > 0 && m.Mu/float64(in.B) < 2*(math.E-2)/(math.E-1)
+}
+
+// BuyDay samples the continuous constrained density and rounds up to
+// a day.
+func (m MeanConstrained) BuyDay(in Instance, r *rng.Rand) int {
+	if !m.constrained(in) {
+		return Randomized{}.BuyDay(in, r)
+	}
+	b := float64(in.B)
+	u := r.Float64()
+	// CDF F(x) = (B(e^{x/B}-1) - x)/(B(e-2)); invert by bisection.
+	cdf := func(x float64) float64 { return (b*math.Expm1(x/b) - x) / (b * (math.E - 2)) }
+	lo, hi := 0.0, b
+	for hi-lo > 1e-9*b {
+		mid := (lo + hi) / 2
+		if cdf(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	day := int(math.Ceil(lo))
+	if day < 1 {
+		day = 1
+	}
+	if day > in.B {
+		day = in.B
+	}
+	return day
+}
+
+// Ratio returns 1 + µ/(2B(e-2)) under the threshold.
+func (m MeanConstrained) Ratio(in Instance) float64 {
+	if !m.constrained(in) {
+		return Randomized{}.Ratio(in)
+	}
+	return 1 + m.Mu/(2*float64(in.B)*(math.E-2))
+}
+
+// ExpectedCost estimates E[cost] of a buyer against a fixed trip
+// length over n trials.
+func ExpectedCost(in Instance, b Buyer, days int, r *rng.Rand, n int) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += in.Cost(b.BuyDay(in, r), days)
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,163 @@
+package skirental
+
+import (
+	"math"
+	"testing"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+	"txconflict/internal/strategy"
+)
+
+func TestCostModel(t *testing.T) {
+	in := Instance{B: 10}
+	// Never buying: pay one rental per day.
+	if in.Cost(11, 5) != 5 {
+		t.Fatal("rent-only cost wrong")
+	}
+	// Buying on day 1: pay only B.
+	if in.Cost(1, 5) != 10 {
+		t.Fatal("buy-immediately cost wrong")
+	}
+	// Buying on day 4 of a 5-day trip: 3 rentals + B.
+	if in.Cost(4, 5) != 13 {
+		t.Fatal("mid-trip buy cost wrong")
+	}
+	if in.OptCost(5) != 5 || in.OptCost(50) != 10 {
+		t.Fatal("OPT wrong")
+	}
+}
+
+func TestDeterministicRatio(t *testing.T) {
+	in := Instance{B: 20}
+	det := Deterministic{}
+	// Worst case: trip ends the day the skis are bought.
+	worst := 0.0
+	for days := 1; days <= 3*in.B; days++ {
+		ratio := float64(in.Cost(det.BuyDay(in, nil), days)) / float64(in.OptCost(days))
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if want := det.Ratio(in); math.Abs(worst-want) > 1e-9 {
+		t.Fatalf("worst ratio %v, want %v", worst, want)
+	}
+}
+
+func TestRandomizedDistribution(t *testing.T) {
+	in := Instance{B: 50}
+	probs := Randomized{}.probs(in)
+	sum := 0.0
+	for i, p := range probs {
+		if p < 0 {
+			t.Fatalf("p_%d = %v < 0", i+1, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// The distribution is increasing in i (later days likelier).
+	for i := 1; i < len(probs); i++ {
+		if probs[i] < probs[i-1] {
+			t.Fatalf("p not increasing at day %d", i+1)
+		}
+	}
+}
+
+func TestRandomizedCompetitive(t *testing.T) {
+	in := Instance{B: 40}
+	r := rng.New(7)
+	want := math.E / (math.E - 1)
+	for _, days := range []int{1, 5, 20, 40, 80, 400} {
+		got := ExpectedCost(in, Randomized{}, days, r, 200000) / float64(in.OptCost(days))
+		// Finite-B discrete strategy is slightly above/below the
+		// asymptotic ratio; allow 6%.
+		if got > want*1.06 {
+			t.Errorf("days=%d: ratio %v exceeds %v", days, got, want)
+		}
+	}
+}
+
+func TestMeanConstrainedBeatsUnconstrained(t *testing.T) {
+	in := Instance{B: 100}
+	r := rng.New(9)
+	mc := MeanConstrained{Mu: 10}
+	if !mc.constrained(in) {
+		t.Fatal("µ=10, B=100 should be in the constrained regime")
+	}
+	if mc.Ratio(in) >= (Randomized{}).Ratio(in) {
+		t.Fatal("constrained ratio should improve")
+	}
+	// Against short trips (d ~ µ << B) the constrained buyer must pay
+	// less on average.
+	days := 10
+	costC := ExpectedCost(in, mc, days, r, 100000)
+	costU := ExpectedCost(in, Randomized{}, days, r, 100000)
+	if costC >= costU {
+		t.Fatalf("constrained cost %v not below unconstrained %v", costC, costU)
+	}
+}
+
+func TestMeanConstrainedFallsBack(t *testing.T) {
+	in := Instance{B: 10}
+	mc := MeanConstrained{Mu: 100}
+	if mc.constrained(in) {
+		t.Fatal("µ=100, B=10 should not be constrained")
+	}
+	if mc.Ratio(in) != (Randomized{}).Ratio(in) {
+		t.Fatal("fallback ratio mismatch")
+	}
+}
+
+func TestBuyDayInRange(t *testing.T) {
+	r := rng.New(3)
+	in := Instance{B: 25}
+	buyers := []Buyer{Deterministic{}, Randomized{}, MeanConstrained{Mu: 5}}
+	for _, b := range buyers {
+		for i := 0; i < 5000; i++ {
+			d := b.BuyDay(in, r)
+			if d < 1 || d > in.B {
+				t.Fatalf("%s: buy day %d outside [1,%d]", b.Name(), d, in.B)
+			}
+		}
+	}
+}
+
+// TestReductionToRequestorAborts verifies Section 4.2's mapping: the
+// continuous requestor-aborts strategy (ExpRA) and the discrete
+// ski-rental randomized buyer incur matching expected cost profiles
+// (up to discretization) on the same instances.
+func TestReductionToRequestorAborts(t *testing.T) {
+	const b = 60
+	in := Instance{B: b}
+	c := core.Conflict{Policy: core.RequestorAborts, K: 2, B: b}
+	r := rng.New(11)
+	for _, d := range []int{6, 30, 60, 120} {
+		ski := ExpectedCost(in, Randomized{}, d, r, 150000)
+		tx := core.ExpectedCost(c, strategy.ExpRA{}, float64(d), r, 150000)
+		// Same problem, same optimum, both strategies e/(e-1)-
+		// competitive: costs agree within discretization error.
+		if rel := math.Abs(ski-tx) / tx; rel > 0.05 {
+			t.Errorf("d=%d: ski-rental cost %v vs RA conflict cost %v (rel %v)", d, ski, tx, rel)
+		}
+	}
+}
+
+func TestExpectedCostDeterministicBuyer(t *testing.T) {
+	in := Instance{B: 10}
+	r := rng.New(1)
+	if got := ExpectedCost(in, Deterministic{}, 5, r, 0); got != 5 {
+		t.Fatalf("expected cost %v, want 5", got)
+	}
+}
+
+func BenchmarkRandomizedBuyDay(b *testing.B) {
+	in := Instance{B: 100}
+	r := rng.New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += (Randomized{}).BuyDay(in, r)
+	}
+	_ = sink
+}

@@ -1,0 +1,219 @@
+// Package stats provides the summary statistics used when aggregating
+// experiment results: online mean/variance (Welford), percentiles,
+// histograms and normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in a single numerically
+// stable pass. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 for no observations).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 for no observations).
+func (w *Welford) Max() float64 { return w.max }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// CI95 returns the half-width of the 95% normal-approximation
+// confidence interval on the mean.
+func (w *Welford) CI95() float64 { return 1.96 * w.StdErr() }
+
+// Merge combines another accumulator into w (parallel Welford).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	delta := o.mean - w.mean
+	tot := n1 + n2
+	w.mean += delta * n2 / tot
+	w.m2 += o.m2 + delta*delta*n1*n2/tot
+	w.n += o.n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
+// String summarizes the accumulator.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", w.n, w.Mean(), w.StdDev(), w.min, w.max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between order statistics. It returns 0 for
+// empty input and does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); values
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []int64
+	Underflow int64
+	Overflow  int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.Lo {
+		h.Underflow++
+		return
+	}
+	if x >= h.Hi {
+		h.Overflow++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i >= len(h.Buckets) { // float rounding at the top edge
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of observations, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BucketCenter returns the midpoint of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of in-range observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.total)
+}
+
+// Ratio computes a/b, returning 0 when b is 0. Used for throughput
+// and competitive-ratio reporting where empty cells are legitimate.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// RelErr returns |got-want|/|want|, or |got| when want == 0.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"txconflict/internal/rng"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	r := rng.New(1)
+	var w Welford
+	xs := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()*3 + 10
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	mean := Mean(xs)
+	variance := 0.0
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Fatalf("welford mean %v vs direct %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-9 {
+		t.Fatalf("welford variance %v vs direct %v", w.Variance(), variance)
+	}
+	if w.N() != 1000 {
+		t.Fatalf("n = %d", w.N())
+	}
+}
+
+func TestWelfordMinMax(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{3, -1, 7, 2} {
+		w.Add(x)
+	}
+	if w.Min() != -1 || w.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 || w.CI95() != 0 {
+		t.Fatal("empty accumulator should be all zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Fatalf("single-element stats wrong: %v", w.String())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(seed uint32, split uint8) bool {
+		r := rng.New(uint64(seed))
+		n := 100
+		k := int(split)%n + 1
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			x := r.Float64()*100 - 50
+			all.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-7 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a.String()
+	a.Merge(&b) // merging empty must be a no-op
+	if a.String() != before {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Mean() != 2 || b.N() != 2 {
+		t.Fatalf("merge into empty: %v", b.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("P50 of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("median of {5,1,3} wrong")
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean{2,4}")
+	}
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Fatal("Sum{1,2,3}")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i := 0; i < 10; i++ {
+		if h.Buckets[i] != 1 {
+			t.Fatalf("bucket %d = %d", i, h.Buckets[i])
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Fatalf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 12 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.BucketCenter(0) != 0.5 {
+		t.Fatalf("center(0) = %v", h.BucketCenter(0))
+	}
+	if f := h.Fraction(3); math.Abs(f-1.0/12) > 1e-12 {
+		t.Fatalf("fraction(3) = %v", f)
+	}
+}
+
+func TestHistogramTopEdge(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(math.Nextafter(1, 0)) // just below Hi
+	if h.Buckets[3] != 1 {
+		t.Fatalf("top-edge value fell into %v", h.Buckets)
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram shape did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 10)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio broken")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Fatalf("RelErr(11,10) = %v", RelErr(11, 10))
+	}
+	if RelErr(0.5, 0) != 0.5 {
+		t.Fatalf("RelErr(0.5,0) = %v", RelErr(0.5, 0))
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	r := rng.New(9)
+	var small, large Welford
+	for i := 0; i < 100; i++ {
+		small.Add(r.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(r.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i))
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Percentile(xs, 99)
+	}
+	_ = sink
+}

@@ -1,0 +1,82 @@
+package stm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"txconflict/internal/rng"
+)
+
+// TestSequentialMatchesReference runs random single-threaded
+// transaction streams against both locking modes and compares every
+// committed word with a flat-map reference, including user-aborted
+// transactions whose effects must vanish.
+func TestSequentialMatchesReference(t *testing.T) {
+	abortErr := errString("user-abort")
+	f := func(seed uint32, lazy bool) bool {
+		r := rng.New(uint64(seed))
+		cfg := DefaultConfig()
+		cfg.Lazy = lazy
+		const words = 16
+		rt := New(words, cfg)
+		ref := make([]uint64, words)
+		// Single-threaded: transactions never retry, so the shadow
+		// array may be mutated inside the transaction function.
+		for txi := 0; txi < 80; txi++ {
+			n := 1 + r.Intn(6)
+			type op struct {
+				write bool
+				idx   int
+				val   uint64
+			}
+			ops := make([]op, n)
+			for i := range ops {
+				ops[i] = op{write: r.Bool(0.5), idx: r.Intn(words), val: r.Uint64() % 1000}
+			}
+			abort := r.Bool(0.25)
+			shadow := append([]uint64(nil), ref...)
+			err := rt.Atomic(r, func(tx *Tx) error {
+				for _, o := range ops {
+					if o.write {
+						tx.Store(o.idx, o.val)
+						shadow[o.idx] = o.val
+					} else {
+						if got := tx.Load(o.idx); got != shadow[o.idx] {
+							t.Logf("seed %d tx %d: read [%d] = %d, want %d", seed, txi, o.idx, got, shadow[o.idx])
+							return errString("mismatch")
+						}
+					}
+				}
+				if abort {
+					return abortErr
+				}
+				return nil
+			})
+			if abort {
+				if err != abortErr {
+					return false
+				}
+				// Effects must vanish.
+			} else {
+				if err != nil {
+					return false
+				}
+				ref = shadow
+			}
+			for i := 0; i < words; i++ {
+				if rt.ReadCommitted(i) != ref[i] {
+					t.Logf("seed %d tx %d: word %d = %d, want %d", seed, txi, i, rt.ReadCommitted(i), ref[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,650 @@
+// Package stm is a hand-rolled software transactional memory with
+// versioned locks, extended with the paper's grace-period conflict
+// resolution. Go has no hardware TM, so this runtime is the
+// real-concurrency counterpart of the internal/htm simulator: the
+// same core.Strategy implementations plug into real goroutines.
+//
+// # Protocol
+//
+// Words live in a flat arena; every word has a versioned lock
+// (version<<1 | lockedBit) and an owner slot. Two locking modes are
+// supported:
+//
+//   - Eager (encounter-time, default): writers acquire the word lock
+//     at the first Store and write in place with an undo log —
+//     the faithful analogue of the paper's HTM (Algorithm 1), where
+//     a transaction owns its write set for its whole duration and
+//     conflicts find the receiver mid-execution.
+//   - Lazy (commit-time, TL2-style): writes are buffered and locks
+//     are taken in address order only inside commit. Lock hold times
+//     are short, so grace periods matter less — this mode doubles as
+//     the "lazy versioning" ablation.
+//
+// Reads are optimistic in both modes, validated against the
+// transaction's read version (TL2 rules), which gives opacity.
+//
+// # Conflicts
+//
+// A conflict arises when a transaction (the requestor) encounters a
+// word locked by another transaction (the receiver — it owns the
+// data item, exactly the paper's receiver role). The requestor
+// evaluates the configured core.Strategy to obtain the grace period
+// (using the doomed side's elapsed time as the abort cost B, paper
+// footnote 1), then waits:
+//
+//   - requestor wins: at the deadline the requestor kills the
+//     receiver (a status CAS the receiver observes at its next
+//     instrumentation point) and waits for the locks to drop;
+//   - requestor aborts: at the deadline the requestor aborts itself.
+//
+// A receiver that reaches its commit write-back phase can no longer
+// be killed (commit is locally atomic, as in the HTM model).
+// Transactions that exhaust MaxRetries fall back to an irrevocable
+// slow path (serialized by a token), the STM analogue of the paper's
+// lock-free fallback paths.
+package stm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+	"txconflict/internal/strategy"
+)
+
+// Status values of a transaction descriptor.
+const (
+	statusActive int32 = iota
+	statusKilled
+	statusNoReturn // committing, past the point of no return
+)
+
+// Config tunes the runtime's conflict resolution.
+type Config struct {
+	// Policy selects requestor-wins or requestor-aborts resolution.
+	Policy core.Policy
+	// HybridPolicy overrides Policy per conflict with the paper's
+	// Section 9 rule: requestor-aborts for pair conflicts (k = 2),
+	// requestor-wins for longer chains. Pairs naturally with
+	// strategy.Hybrid, which dispatches the matching optimal
+	// strategy.
+	HybridPolicy bool
+	// Strategy picks grace periods; nil means no grace (immediate
+	// resolution, the NO_DELAY baseline).
+	Strategy core.Strategy
+	// Lazy switches to commit-time locking (TL2); the default is
+	// eager encounter-time locking, matching the paper's HTM.
+	Lazy bool
+	// UseMeanProfile feeds the profiled mean committed-transaction
+	// duration to the strategy.
+	UseMeanProfile bool
+	// CleanupCost is the fixed component of the abort cost B in
+	// nanoseconds; the elapsed execution time is added per the
+	// paper's footnote 1.
+	CleanupCost time.Duration
+	// BackoffFactor multiplies B per abort of the same transaction
+	// (Corollary 2); <= 1 disables.
+	BackoffFactor float64
+	// MaxRetries bounds optimistic retries before the transaction
+	// falls back to the irrevocable slow path; 0 means never.
+	MaxRetries int
+}
+
+// DefaultConfig returns an eager requestor-wins configuration with
+// the 2-competitive uniform strategy.
+func DefaultConfig() Config {
+	return Config{
+		Policy:        core.RequestorWins,
+		Strategy:      strategy.UniformRW{},
+		CleanupCost:   2 * time.Microsecond,
+		BackoffFactor: 1,
+		MaxRetries:    64,
+	}
+}
+
+// String renders the config for reports.
+func (c Config) String() string {
+	name := "NO_DELAY"
+	if c.Strategy != nil {
+		name = c.Strategy.Name()
+	}
+	mode := "eager"
+	if c.Lazy {
+		mode = "lazy"
+	}
+	return fmt.Sprintf("%v/%s/%s", c.Policy, name, mode)
+}
+
+// Stats aggregates runtime counters (all updated atomically).
+type Stats struct {
+	Commits     atomic.Uint64
+	Aborts      atomic.Uint64
+	Kills       atomic.Uint64 // receiver aborts forced by requestors
+	SelfAborts  atomic.Uint64 // requestor-side and validation aborts
+	GraceWaits  atomic.Uint64 // conflicts that entered a grace wait
+	Irrevocable atomic.Uint64 // slow-path executions
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"commits":     s.Commits.Load(),
+		"aborts":      s.Aborts.Load(),
+		"kills":       s.Kills.Load(),
+		"selfAborts":  s.SelfAborts.Load(),
+		"graceWaits":  s.GraceWaits.Load(),
+		"irrevocable": s.Irrevocable.Load(),
+	}
+}
+
+// Runtime is a transactional memory arena plus its conflict policy.
+type Runtime struct {
+	cfg   Config
+	clock atomic.Uint64
+	words []atomic.Uint64
+	locks []atomic.Uint64
+	owner []atomic.Pointer[Tx]
+
+	fallback sync.Mutex // serializes irrevocable transactions
+
+	profBits atomic.Uint64 // float64 bits of the EWMA duration (ns)
+
+	Stats Stats
+}
+
+// New creates a runtime with n words, all zero.
+func New(n int, cfg Config) *Runtime {
+	if n <= 0 {
+		panic("stm: non-positive arena size")
+	}
+	if cfg.BackoffFactor == 0 {
+		cfg.BackoffFactor = 1
+	}
+	return &Runtime{
+		cfg:   cfg,
+		words: make([]atomic.Uint64, n),
+		locks: make([]atomic.Uint64, n),
+		owner: make([]atomic.Pointer[Tx], n),
+	}
+}
+
+// Size returns the arena size in words.
+func (rt *Runtime) Size() int { return len(rt.words) }
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// ReadCommitted reads a word outside any transaction, spinning past
+// transient locks. Intended for post-run verification.
+func (rt *Runtime) ReadCommitted(idx int) uint64 {
+	for {
+		l := rt.locks[idx].Load()
+		if l&1 == 0 {
+			v := rt.words[idx].Load()
+			if rt.locks[idx].Load() == l {
+				return v
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// profileMean returns the EWMA of committed transaction durations in
+// nanoseconds (0 = no data yet).
+func (rt *Runtime) profileMean() float64 {
+	return math.Float64frombits(rt.profBits.Load())
+}
+
+func (rt *Runtime) profileUpdate(ns float64) {
+	const alpha = 0.05
+	for {
+		old := rt.profBits.Load()
+		cur := math.Float64frombits(old)
+		next := ns
+		if cur != 0 {
+			next = cur + alpha*(ns-cur)
+		}
+		if rt.profBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// txAbort is the panic value used to unwind an aborted transaction.
+type txAbort struct{ reason string }
+
+// undoEntry records a pre-image for eager in-place writes.
+type undoEntry struct {
+	idx     int
+	oldVal  uint64
+	oldLock uint64
+}
+
+// Tx is a transaction descriptor. It is reused across retries of the
+// same atomic block and must not escape the transaction function.
+type Tx struct {
+	rt  *Runtime
+	rng *rng.Rand
+
+	status  atomic.Int32
+	waiters atomic.Int32 // requestors currently waiting on me
+	// irrevocable, startNanos and attempts are read by *other*
+	// goroutines (requestors inspecting their receiver in graceFor),
+	// hence atomic.
+	irrevocable atomic.Bool
+	startNanos  atomic.Int64
+	attempts    atomic.Int32
+
+	rv uint64
+
+	reads []readEntry
+
+	// Lazy mode: buffered write set.
+	writeIdx  []int
+	writeVals map[int]uint64
+	// Eager mode: in-place writes with undo log.
+	undo []undoEntry
+
+	lockedUpTo int // lazy commit locks acquired (rollback bound)
+}
+
+type readEntry struct {
+	idx int
+	ver uint64
+}
+
+// Attempts reports how many times the current atomic block aborted.
+func (tx *Tx) Attempts() int { return int(tx.attempts.Load()) }
+
+// Atomic runs fn transactionally, retrying on conflict; it returns
+// fn's error for user-level aborts. fn must confine all shared access
+// to tx.Load/tx.Store and must be safe to re-execute.
+func (rt *Runtime) Atomic(r *rng.Rand, fn func(tx *Tx) error) error {
+	tx := &Tx{rt: rt, rng: r, writeVals: make(map[int]uint64, 8)}
+	for {
+		tx.reset()
+		err, aborted := tx.attempt(fn)
+		if !aborted {
+			return err
+		}
+		rt.Stats.Aborts.Add(1)
+		tx.attempts.Add(1)
+		if rt.cfg.MaxRetries > 0 && int(tx.attempts.Load()) >= rt.cfg.MaxRetries && !tx.irrevocable.Load() {
+			rt.fallback.Lock()
+			tx.irrevocable.Store(true)
+			rt.Stats.Irrevocable.Add(1)
+		}
+	}
+}
+
+func (tx *Tx) reset() {
+	tx.status.Store(statusActive)
+	tx.rv = tx.rt.clock.Load()
+	tx.startNanos.Store(time.Now().UnixNano())
+	tx.reads = tx.reads[:0]
+	tx.writeIdx = tx.writeIdx[:0]
+	for k := range tx.writeVals {
+		delete(tx.writeVals, k)
+	}
+	tx.undo = tx.undo[:0]
+	tx.lockedUpTo = 0
+}
+
+// attempt executes fn once; aborted reports whether it must be
+// retried.
+func (tx *Tx) attempt(fn func(tx *Tx) error) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(txAbort); !ok {
+				panic(r)
+			}
+			tx.rollback()
+			aborted = true
+		}
+	}()
+	err = fn(tx)
+	if err != nil {
+		// User-level abort: discard speculative state, no retry.
+		tx.rollback()
+		tx.releaseToken()
+		return err, false
+	}
+	tx.commit()
+	tx.releaseToken()
+	tx.rt.Stats.Commits.Add(1)
+	tx.rt.profileUpdate(float64(time.Now().UnixNano() - tx.startNanos.Load()))
+	return nil, false
+}
+
+func (tx *Tx) releaseToken() {
+	if tx.irrevocable.Load() {
+		tx.irrevocable.Store(false)
+		tx.rt.fallback.Unlock()
+	}
+}
+
+// rollback undoes all speculative effects of the current attempt.
+func (tx *Tx) rollback() {
+	// Eager: restore pre-images in reverse order, then release the
+	// encounter locks with their original versions.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		tx.rt.words[u.idx].Store(u.oldVal)
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		tx.rt.owner[u.idx].Store(nil)
+		tx.rt.locks[u.idx].Store(u.oldLock &^ 1)
+	}
+	tx.undo = tx.undo[:0]
+	// Lazy: release partially acquired commit locks.
+	for i := 0; i < tx.lockedUpTo; i++ {
+		idx := tx.writeIdx[i]
+		tx.rt.owner[idx].Store(nil)
+		l := tx.rt.locks[idx].Load()
+		tx.rt.locks[idx].Store(l &^ 1)
+	}
+	tx.lockedUpTo = 0
+}
+
+// abort unwinds the current attempt.
+func (tx *Tx) abort(reason string) {
+	panic(txAbort{reason: reason})
+}
+
+// checkKilled aborts if a requestor killed this transaction.
+// Irrevocable transactions ignore kills (they cannot be victims).
+func (tx *Tx) checkKilled() {
+	if !tx.irrevocable.Load() && tx.status.Load() == statusKilled {
+		tx.abort("killed")
+	}
+}
+
+// ownsLock reports whether tx holds the encounter/commit lock on idx.
+func (tx *Tx) ownsLock(idx int) bool {
+	return tx.rt.owner[idx].Load() == tx
+}
+
+// Load reads word idx transactionally.
+func (tx *Tx) Load(idx int) uint64 {
+	tx.checkKilled()
+	if !tx.rt.cfg.Lazy {
+		if tx.ownsLock(idx) {
+			return tx.rt.words[idx].Load()
+		}
+	} else if v, ok := tx.writeVals[idx]; ok {
+		return v
+	}
+	for {
+		l1 := tx.rt.locks[idx].Load()
+		if l1&1 == 1 {
+			tx.onLocked(idx)
+			tx.checkKilled()
+			continue
+		}
+		if l1>>1 > tx.rv {
+			// The word changed after our snapshot began.
+			tx.rt.Stats.SelfAborts.Add(1)
+			tx.abort("read-validation")
+		}
+		v := tx.rt.words[idx].Load()
+		if tx.rt.locks[idx].Load() != l1 {
+			continue // raced with a writer; retry the read
+		}
+		tx.reads = append(tx.reads, readEntry{idx: idx, ver: l1 >> 1})
+		return v
+	}
+}
+
+// Store writes val to word idx transactionally.
+func (tx *Tx) Store(idx int, val uint64) {
+	tx.checkKilled()
+	if tx.rt.cfg.Lazy {
+		if _, ok := tx.writeVals[idx]; !ok {
+			tx.writeIdx = append(tx.writeIdx, idx)
+		}
+		tx.writeVals[idx] = val
+		return
+	}
+	// Eager: acquire the encounter lock on first touch, then write
+	// in place.
+	if !tx.ownsLock(idx) {
+		tx.acquire(idx)
+	}
+	tx.rt.words[idx].Store(val)
+}
+
+// acquire takes the encounter lock on idx (eager mode), logging the
+// pre-image.
+func (tx *Tx) acquire(idx int) {
+	for {
+		tx.checkKilled()
+		l := tx.rt.locks[idx].Load()
+		if l&1 == 1 {
+			tx.onLocked(idx)
+			continue
+		}
+		if l>>1 > tx.rv {
+			tx.rt.Stats.SelfAborts.Add(1)
+			tx.abort("write-version")
+		}
+		if tx.rt.locks[idx].CompareAndSwap(l, l|1) {
+			tx.rt.owner[idx].Store(tx)
+			tx.undo = append(tx.undo, undoEntry{
+				idx:     idx,
+				oldVal:  tx.rt.words[idx].Load(),
+				oldLock: l,
+			})
+			return
+		}
+	}
+}
+
+// commit finalizes the transaction.
+func (tx *Tx) commit() {
+	if tx.rt.cfg.Lazy {
+		tx.commitLazy()
+	} else {
+		tx.commitEager()
+	}
+}
+
+// enterNoReturn transitions to the unkillable commit phase. A kill
+// that lands first wins: the transaction obeys it and aborts.
+func (tx *Tx) enterNoReturn() {
+	if tx.irrevocable.Load() {
+		tx.status.Store(statusNoReturn)
+		return
+	}
+	if !tx.status.CompareAndSwap(statusActive, statusNoReturn) {
+		tx.rt.Stats.SelfAborts.Add(1)
+		tx.abort("killed-at-commit")
+	}
+}
+
+// validateReads re-checks the read set at commit time.
+func (tx *Tx) validateReads() {
+	for _, re := range tx.reads {
+		l := tx.rt.locks[re.idx].Load()
+		if l&1 == 1 {
+			if !tx.ownsLock(re.idx) {
+				tx.rt.Stats.SelfAborts.Add(1)
+				tx.abort("commit-validation-locked")
+			}
+			continue
+		}
+		if l>>1 != re.ver {
+			tx.rt.Stats.SelfAborts.Add(1)
+			tx.abort("commit-validation-version")
+		}
+	}
+}
+
+func (tx *Tx) commitEager() {
+	if len(tx.undo) == 0 {
+		// Read-only: per-read validation against rv suffices.
+		tx.checkKilled()
+		return
+	}
+	tx.enterNoReturn()
+	tx.validateReads()
+	wv := tx.rt.clock.Add(1)
+	for _, u := range tx.undo {
+		tx.rt.owner[u.idx].Store(nil)
+		tx.rt.locks[u.idx].Store(wv << 1)
+	}
+	tx.undo = tx.undo[:0]
+}
+
+func (tx *Tx) commitLazy() {
+	if len(tx.writeIdx) == 0 {
+		tx.checkKilled()
+		return
+	}
+	sort.Ints(tx.writeIdx)
+	for i, idx := range tx.writeIdx {
+		tx.lockCommit(idx)
+		tx.lockedUpTo = i + 1
+	}
+	tx.enterNoReturn()
+	tx.validateReads()
+	wv := tx.rt.clock.Add(1)
+	for _, idx := range tx.writeIdx {
+		tx.rt.words[idx].Store(tx.writeVals[idx])
+	}
+	for _, idx := range tx.writeIdx {
+		tx.rt.owner[idx].Store(nil)
+		tx.rt.locks[idx].Store(wv << 1)
+	}
+	tx.lockedUpTo = 0
+}
+
+// lockCommit acquires a commit lock (lazy mode).
+func (tx *Tx) lockCommit(idx int) {
+	for {
+		tx.checkKilled()
+		l := tx.rt.locks[idx].Load()
+		if l&1 == 0 {
+			if l>>1 > tx.rv {
+				tx.rt.Stats.SelfAborts.Add(1)
+				tx.abort("lock-version")
+			}
+			if tx.rt.locks[idx].CompareAndSwap(l, l|1) {
+				tx.rt.owner[idx].Store(tx)
+				return
+			}
+			continue
+		}
+		tx.onLocked(idx)
+	}
+}
+
+// onLocked is the conflict decision point: word idx is locked by
+// another transaction. It returns once the lock has been observed to
+// move on (so the caller may retry), and aborts the appropriate side
+// per policy when the grace period expires.
+func (tx *Tx) onLocked(idx int) {
+	owner := tx.rt.owner[idx].Load()
+	if owner == nil || owner == tx {
+		runtime.Gosched()
+		return
+	}
+	rt := tx.rt
+	rt.Stats.GraceWaits.Add(1)
+	k := 2 + int(owner.waiters.Load())
+	owner.waiters.Add(1)
+	defer owner.waiters.Add(-1)
+
+	pol := rt.policyFor(k)
+	grace := tx.graceFor(owner, k, pol)
+	deadline := time.Now().Add(grace)
+	for {
+		if rt.locks[idx].Load()&1 == 0 || rt.owner[idx].Load() != owner {
+			return // receiver committed or aborted; lock moved on
+		}
+		if !tx.irrevocable.Load() && tx.status.Load() == statusKilled {
+			tx.abort("killed-while-waiting")
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		runtime.Gosched()
+	}
+	// Grace expired: resolve the conflict.
+	if owner.irrevocable.Load() {
+		// The receiver cannot be killed; yield to it.
+		rt.Stats.SelfAborts.Add(1)
+		tx.abort("yield-to-irrevocable")
+	}
+	if pol == core.RequestorWins || tx.irrevocable.Load() {
+		if owner.status.CompareAndSwap(statusActive, statusKilled) {
+			rt.Stats.Kills.Add(1)
+		}
+		// Killed, or already past no-return: either way the locks
+		// drop shortly. We may have been killed too (mutual kill on
+		// crossed lock orders) — obey it, or the two of us wait on
+		// each other forever.
+		for rt.locks[idx].Load()&1 == 1 && rt.owner[idx].Load() == owner {
+			if !tx.irrevocable.Load() && tx.status.Load() == statusKilled {
+				tx.abort("killed-while-waiting")
+			}
+			runtime.Gosched()
+		}
+		return
+	}
+	// Requestor aborts.
+	rt.Stats.SelfAborts.Add(1)
+	tx.abort("requestor-aborts")
+}
+
+// policyFor returns the per-conflict resolution policy (Section 9
+// hybrid rule when enabled).
+func (rt *Runtime) policyFor(k int) core.Policy {
+	if !rt.cfg.HybridPolicy {
+		return rt.cfg.Policy
+	}
+	if k <= 2 {
+		return core.RequestorAborts
+	}
+	return core.RequestorWins
+}
+
+// graceFor evaluates the strategy for a conflict with the given
+// receiver, chain length estimate and per-conflict policy.
+func (tx *Tx) graceFor(owner *Tx, k int, pol core.Policy) time.Duration {
+	s := tx.rt.cfg.Strategy
+	if s == nil {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	var b float64
+	var attempts int
+	if pol == core.RequestorWins {
+		b = float64(now-owner.startNanos.Load()) + float64(tx.rt.cfg.CleanupCost.Nanoseconds())
+		attempts = int(owner.attempts.Load())
+	} else {
+		b = float64(now-tx.startNanos.Load()) + float64(tx.rt.cfg.CleanupCost.Nanoseconds())
+		attempts = int(tx.attempts.Load())
+	}
+	if b <= 0 {
+		b = 1
+	}
+	if f := tx.rt.cfg.BackoffFactor; f > 1 {
+		b = strategy.BackoffB(b, attempts, f, math.Inf(1))
+	}
+	conf := core.Conflict{Policy: pol, K: k, B: b}
+	if tx.rt.cfg.UseMeanProfile {
+		conf.Mean = tx.rt.profileMean()
+	}
+	x := s.Delay(conf, tx.rng)
+	if x < 0 || math.IsNaN(x) {
+		x = 0
+	}
+	return time.Duration(x)
+}

@@ -1,0 +1,474 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+	"txconflict/internal/strategy"
+)
+
+// configs returns the configuration matrix exercised by the
+// concurrency tests: both policies, both locking modes, with and
+// without delay strategies.
+func configs() []Config {
+	var out []Config
+	for _, lazy := range []bool{false, true} {
+		for _, pol := range []core.Policy{core.RequestorWins, core.RequestorAborts} {
+			for _, s := range []core.Strategy{nil, strategy.UniformRW{}, strategy.ExpRA{}} {
+				out = append(out, Config{
+					Policy:        pol,
+					Strategy:      s,
+					Lazy:          lazy,
+					CleanupCost:   time.Microsecond,
+					MaxRetries:    128,
+					BackoffFactor: 1,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestSequentialLoadStore(t *testing.T) {
+	rt := New(16, DefaultConfig())
+	r := rng.New(1)
+	err := rt.Atomic(r, func(tx *Tx) error {
+		tx.Store(3, 42)
+		if got := tx.Load(3); got != 42 {
+			t.Errorf("read-own-write = %d", got)
+		}
+		if got := tx.Load(4); got != 0 {
+			t.Errorf("fresh word = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.ReadCommitted(3); got != 42 {
+		t.Fatalf("committed value = %d", got)
+	}
+	if rt.Stats.Commits.Load() != 1 {
+		t.Fatalf("commits = %d", rt.Stats.Commits.Load())
+	}
+}
+
+func TestUserErrorAbortsWithoutRetry(t *testing.T) {
+	rt := New(4, DefaultConfig())
+	r := rng.New(1)
+	boom := errors.New("boom")
+	calls := 0
+	err := rt.Atomic(r, func(tx *Tx) error {
+		calls++
+		tx.Store(0, 99)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times", calls)
+	}
+	if got := rt.ReadCommitted(0); got != 0 {
+		t.Fatalf("aborted write leaked: %d", got)
+	}
+	if rt.Stats.Commits.Load() != 0 {
+		t.Fatal("user abort counted as commit")
+	}
+}
+
+func TestLazyBuffering(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lazy = true
+	rt := New(4, cfg)
+	r := rng.New(1)
+	_ = rt.Atomic(r, func(tx *Tx) error {
+		tx.Store(0, 7)
+		// In lazy mode the word must not be globally visible yet.
+		if rt.words[0].Load() != 0 {
+			t.Error("lazy write hit memory before commit")
+		}
+		if tx.Load(0) != 7 {
+			t.Error("read-own-write through buffer failed")
+		}
+		return nil
+	})
+	if rt.ReadCommitted(0) != 7 {
+		t.Fatal("lazy commit lost the write")
+	}
+}
+
+func TestEagerInPlaceAndRollback(t *testing.T) {
+	cfg := DefaultConfig()
+	rt := New(4, cfg)
+	r := rng.New(1)
+	fail := errors.New("fail")
+	_ = rt.Atomic(r, func(tx *Tx) error {
+		tx.Store(0, 7)
+		// Eager mode writes in place while holding the lock.
+		if rt.words[0].Load() != 7 {
+			t.Error("eager write not in place")
+		}
+		if rt.locks[0].Load()&1 != 1 {
+			t.Error("eager write did not lock the word")
+		}
+		return fail
+	})
+	if rt.ReadCommitted(0) != 0 {
+		t.Fatal("rollback did not restore the pre-image")
+	}
+	if rt.locks[0].Load()&1 != 0 {
+		t.Fatal("rollback left the word locked")
+	}
+}
+
+// TestCounterConcurrent is the core serializability test: G
+// goroutines each add 1 to a shared counter N times; the final value
+// must be exactly G*N for every configuration.
+func TestCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 2000
+	for _, cfg := range configs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			rt := New(8, cfg)
+			root := rng.New(99)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				r := root.Split()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						_ = rt.Atomic(r, func(tx *Tx) error {
+							tx.Store(0, tx.Load(0)+1)
+							return nil
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if got := rt.ReadCommitted(0); got != goroutines*perG {
+				t.Fatalf("counter = %d, want %d (stats %v)", got, goroutines*perG, rt.Stats.Snapshot())
+			}
+			if rt.Stats.Commits.Load() != goroutines*perG {
+				t.Fatalf("commits = %d", rt.Stats.Commits.Load())
+			}
+		})
+	}
+}
+
+// TestTransfersConserveBalance runs random transfers among accounts;
+// serializability implies the total is conserved and every snapshot a
+// transaction observes is consistent.
+func TestTransfersConserveBalance(t *testing.T) {
+	const accounts, goroutines, perG = 16, 8, 1500
+	const initial = 1000
+	for _, cfg := range configs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			rt := New(accounts, cfg)
+			seed := rng.New(7)
+			for i := 0; i < accounts; i++ {
+				i := i
+				_ = rt.Atomic(seed, func(tx *Tx) error {
+					tx.Store(i, initial)
+					return nil
+				})
+			}
+			root := rng.New(1234)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				r := root.Split()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						_ = rt.Atomic(r, func(tx *Tx) error {
+							a, b := r.TwoDistinct(accounts)
+							av, bv := tx.Load(a), tx.Load(b)
+							tx.Store(a, av-1)
+							tx.Store(b, bv+1)
+							return nil
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			var total uint64
+			for i := 0; i < accounts; i++ {
+				total += rt.ReadCommitted(i)
+			}
+			if total != accounts*initial {
+				t.Fatalf("balance drift: %d != %d (stats %v)", total, accounts*initial, rt.Stats.Snapshot())
+			}
+		})
+	}
+}
+
+// TestOpacity verifies that no transaction — even one that later
+// aborts — observes a torn snapshot of two words that are always
+// updated together.
+func TestOpacity(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		lazy := lazy
+		t.Run(fmt.Sprintf("lazy=%v", lazy), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Lazy = lazy
+			rt := New(2, cfg)
+			stop := make(chan struct{})
+			var torn atomic64Bool
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				r := rng.New(1)
+				for i := uint64(1); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = rt.Atomic(r, func(tx *Tx) error {
+						tx.Store(0, i)
+						tx.Store(1, i)
+						return nil
+					})
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				r := rng.New(2)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = rt.Atomic(r, func(tx *Tx) error {
+						a := tx.Load(0)
+						b := tx.Load(1)
+						if a != b {
+							torn.set()
+						}
+						return nil
+					})
+				}
+			}()
+			time.Sleep(300 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			if torn.get() {
+				t.Fatal("a transaction observed a torn snapshot")
+			}
+		})
+	}
+}
+
+// atomic64Bool is a tiny helper for cross-goroutine flags in tests.
+type atomic64Bool struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (b *atomic64Bool) set()      { b.mu.Lock(); b.v = true; b.mu.Unlock() }
+func (b *atomic64Bool) get() bool { b.mu.Lock(); defer b.mu.Unlock(); return b.v }
+
+func TestIrrevocableFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 1 // fall back almost immediately
+	rt := New(4, cfg)
+	const goroutines, perG = 8, 300
+	root := rng.New(5)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		r := root.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_ = rt.Atomic(r, func(tx *Tx) error {
+					tx.Store(0, tx.Load(0)+1)
+					busySpin(300) // hold the lock to force overlap
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.ReadCommitted(0); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// On an oversubscribed machine goroutines can serialize and never
+	// abort, in which case the fallback is legitimately idle.
+	if rt.Stats.Aborts.Load() > uint64(goroutines) && rt.Stats.Irrevocable.Load() == 0 {
+		t.Fatalf("fallback never engaged despite MaxRetries=1 and %d aborts", rt.Stats.Aborts.Load())
+	}
+}
+
+func TestPolicyKillAccounting(t *testing.T) {
+	// Requestor-wins under contention must record kills; requestor
+	// aborts must not (only self aborts).
+	run := func(pol core.Policy) *Runtime {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		cfg.Strategy = nil // immediate resolution maximizes conflicts
+		cfg.MaxRetries = 0
+		rt := New(2, cfg)
+		root := rng.New(3)
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			r := root.Split()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					_ = rt.Atomic(r, func(tx *Tx) error {
+						tx.Store(0, tx.Load(0)+1)
+						// Hold the encounter lock a little while to
+						// force overlapping windows.
+						busySpin(200)
+						tx.Store(1, tx.Load(1)+1)
+						return nil
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		return rt
+	}
+	rw := run(core.RequestorWins)
+	if rw.Stats.GraceWaits.Load() > 50 && rw.Stats.Kills.Load() == 0 {
+		// With nil strategy every lock encounter kills immediately;
+		// only complain when conflicts actually happened (a heavily
+		// oversubscribed box can serialize the goroutines).
+		t.Error("requestor-wins contention produced no kills")
+	}
+	ra := run(core.RequestorAborts)
+	if ra.Stats.Kills.Load() != 0 {
+		t.Errorf("requestor-aborts produced %d kills", ra.Stats.Kills.Load())
+	}
+	if ra.Stats.SelfAborts.Load() == 0 {
+		t.Error("requestor-aborts contention produced no self aborts")
+	}
+}
+
+// busySpin burns roughly n loop iterations of CPU (no sleeping, so
+// the transaction stays on-CPU like a real computation).
+func busySpin(n int) {
+	x := uint64(1)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	if x == 42 { // defeat dead-code elimination
+		panic("unreachable")
+	}
+}
+
+func TestGraceWaitsRecorded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = strategy.UniformRW{}
+	rt := New(2, cfg)
+	root := rng.New(11)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		r := root.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				_ = rt.Atomic(r, func(tx *Tx) error {
+					tx.Store(0, tx.Load(0)+1)
+					busySpin(500)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if rt.Stats.GraceWaits.Load() == 0 {
+		t.Fatal("no grace waits recorded under contention")
+	}
+}
+
+func TestProfilerMean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseMeanProfile = true
+	cfg.Strategy = strategy.MeanRW{}
+	rt := New(2, cfg)
+	r := rng.New(1)
+	for i := 0; i < 50; i++ {
+		_ = rt.Atomic(r, func(tx *Tx) error {
+			tx.Store(0, tx.Load(0)+1)
+			return nil
+		})
+	}
+	if rt.profileMean() <= 0 {
+		t.Fatal("profiler mean not populated")
+	}
+}
+
+func TestReadCommittedStability(t *testing.T) {
+	rt := New(1, DefaultConfig())
+	r := rng.New(1)
+	_ = rt.Atomic(r, func(tx *Tx) error { tx.Store(0, 5); return nil })
+	for i := 0; i < 100; i++ {
+		if rt.ReadCommitted(0) != 5 {
+			t.Fatal("ReadCommitted unstable")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, DefaultConfig())
+}
+
+func TestConfigString(t *testing.T) {
+	c := DefaultConfig()
+	if c.String() != "requestor-wins/RRW/eager" {
+		t.Fatalf("String = %q", c.String())
+	}
+	c.Strategy = nil
+	c.Lazy = true
+	c.Policy = core.RequestorAborts
+	if c.String() != "requestor-aborts/NO_DELAY/lazy" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func BenchmarkUncontendedTx(b *testing.B) {
+	rt := New(64, DefaultConfig())
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Atomic(r, func(tx *Tx) error {
+			tx.Store(i%64, uint64(i))
+			return nil
+		})
+	}
+}
+
+func BenchmarkContendedCounter(b *testing.B) {
+	rt := New(1, DefaultConfig())
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(uint64(time.Now().UnixNano()))
+		for pb.Next() {
+			_ = rt.Atomic(r, func(tx *Tx) error {
+				tx.Store(0, tx.Load(0)+1)
+				return nil
+			})
+		}
+	})
+}

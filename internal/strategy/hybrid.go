@@ -1,0 +1,105 @@
+package strategy
+
+import (
+	"math"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+)
+
+// Hybrid realizes the strategy suggested in the paper's discussion
+// (Sections 5.3 and 9): requestor-aborts is more efficient for
+// two-transaction conflicts, requestor-wins for longer chains, so a
+// system that can choose per conflict should alternate between the
+// two. PreferredPolicy picks the policy; Delay then dispatches to the
+// matching optimal strategy (mean-constrained when µ is known).
+type Hybrid struct{}
+
+// Name implements core.Strategy.
+func (Hybrid) Name() string { return "HYBRID" }
+
+// PreferredPolicy returns the policy whose optimal strategy has the
+// smaller analytic competitive ratio for chain length k: requestor
+// aborts at k = 2 (e/(e-1) < 2), requestor wins for k >= 3 (where
+// k^{k-1}/S < e^{1/(k-1)}/(e^{1/(k-1)}-1)).
+func (Hybrid) PreferredPolicy(k int) core.Policy {
+	if k <= 2 {
+		return core.RequestorAborts
+	}
+	return core.RequestorWins
+}
+
+// Delay dispatches to the optimal strategy for the preferred policy,
+// overriding the conflict's own policy field.
+func (h Hybrid) Delay(c core.Conflict, r *rng.Rand) float64 {
+	c.Policy = h.PreferredPolicy(chainK(c))
+	return h.delegate(c).Delay(c, r)
+}
+
+// Ratio returns the analytic ratio of the dispatched strategy.
+func (h Hybrid) Ratio(c core.Conflict) float64 {
+	c.Policy = h.PreferredPolicy(chainK(c))
+	return h.delegate(c).(Analytic).Ratio(c)
+}
+
+func (Hybrid) delegate(c core.Conflict) core.Strategy {
+	if c.Policy == core.RequestorAborts {
+		if c.Mean > 0 {
+			return MeanRA{}
+		}
+		return ExpRA{}
+	}
+	if c.Mean > 0 {
+		return MeanRW{}
+	}
+	return GeneralRW{}
+}
+
+// BackoffB implements the multiplicative progress mechanism of
+// Corollary 2: after `attempts` aborts the effective abort cost grows
+// to base·factor^attempts, making the transaction ever less likely to
+// be sacrificed. factor <= 1 disables backoff. The result saturates
+// at maxB (pass +Inf for no cap).
+func BackoffB(base float64, attempts int, factor, maxB float64) float64 {
+	if factor <= 1 || attempts <= 0 {
+		return math.Min(base, maxB)
+	}
+	b := base
+	for i := 0; i < attempts; i++ {
+		b *= factor
+		if b >= maxB {
+			return maxB
+		}
+	}
+	return b
+}
+
+// AttemptBound returns Corollary 2's attempt bound
+// log2(y) + log2(γ) + log2(k) - log2(B) + 2 (rounded up, at least 1):
+// a transaction of length y that encounters γ conflicts commits
+// within this many attempts with probability at least 1/2 under
+// multiplicative backoff.
+func AttemptBound(y, gamma float64, k int, b float64) int {
+	v := math.Log2(y) + math.Log2(gamma) + math.Log2(float64(k)) - math.Log2(b) + 2
+	n := int(math.Ceil(v))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForPolicy returns the paper's optimal strategy for a policy:
+// mean-constrained when µ > 0 is carried by the conflict, otherwise
+// the unconstrained optimum.
+func ForPolicy(p core.Policy, mean bool) core.Strategy {
+	switch {
+	case p == core.RequestorAborts && mean:
+		return MeanRA{}
+	case p == core.RequestorAborts:
+		return ExpRA{}
+	case mean:
+		return MeanRW{}
+	default:
+		return GeneralRW{}
+	}
+}

@@ -1,0 +1,143 @@
+package strategy
+
+import (
+	"math"
+
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+)
+
+// raW returns W = (k-1)(e^{1/(k-1)} - 1) - 1, the normalizing
+// constant of Theorem 3's mean-constrained density (W = e-2 at k=2).
+func raW(k int) float64 {
+	k1 := float64(k - 1)
+	return k1*(math.Exp(1/k1)-1) - 1
+}
+
+// ExpRA is the unconstrained randomized requestor-aborts strategy —
+// the continuous ski-rental optimum (Theorem 1) generalized to
+// conflict chains by Theorem 3:
+//
+//	p(x) = e^{x/B} / (B (e^{1/(k-1)} - 1)),  0 <= x <= B/(k-1),
+//
+// with competitive ratio e^{1/(k-1)} / (e^{1/(k-1)} - 1), equal to
+// e/(e-1) at k = 2 and growing roughly like k - 1/2 for long chains.
+type ExpRA struct{}
+
+// Delay samples by the closed-form inverse CDF
+// x = B ln(1 + u (e^{1/(k-1)} - 1)).
+func (ExpRA) Delay(c core.Conflict, r *rng.Rand) float64 {
+	k := chainK(c)
+	em1 := math.Expm1(1 / float64(k-1))
+	return c.B * math.Log1p(r.Float64()*em1)
+}
+
+// Name implements core.Strategy.
+func (ExpRA) Name() string { return "RRA" }
+
+// Ratio returns e^{1/(k-1)} / (e^{1/(k-1)} - 1).
+func (ExpRA) Ratio(c core.Conflict) float64 {
+	k := chainK(c)
+	e := math.Exp(1 / float64(k-1))
+	return e / (e - 1)
+}
+
+// PDF implements Distribution.
+func (ExpRA) PDF(c core.Conflict, x float64) float64 {
+	hi := core.MaxUsefulDelay(c)
+	if x < 0 || x > hi {
+		return 0
+	}
+	k := chainK(c)
+	em1 := math.Expm1(1 / float64(k-1))
+	return math.Exp(x/c.B) / (c.B * em1)
+}
+
+// CDF implements Distribution.
+func (ExpRA) CDF(c core.Conflict, x float64) float64 {
+	hi := core.MaxUsefulDelay(c)
+	x = dist.Clamp(x, 0, hi)
+	k := chainK(c)
+	em1 := math.Expm1(1 / float64(k-1))
+	return math.Expm1(x/c.B) / em1
+}
+
+// Support implements Distribution.
+func (ExpRA) Support(c core.Conflict) (float64, float64) {
+	return 0, core.MaxUsefulDelay(c)
+}
+
+// MeanRA is the mean-constrained randomized requestor-aborts strategy
+// of Theorem 2 (k = 2, after Khanafer et al.) and Theorem 3 (k > 2):
+//
+//	p(x) = (k-1)(e^{x/B} - 1) / (B W),  0 <= x <= B/(k-1),
+//	W = (k-1)(e^{1/(k-1)} - 1) - 1,
+//
+// applicable when µ/B < 2W/(W+1) (equal to 2(e-2)/(e-1) at k=2,
+// Theorem 2's threshold), with competitive ratio 1 + µ(k-1)/(2BW).
+// Outside the threshold it falls back to ExpRA.
+type MeanRA struct{}
+
+// Name implements core.Strategy.
+func (MeanRA) Name() string { return "RRA(mu)" }
+
+// constrained reports whether the mean-constrained corner applies.
+func (MeanRA) constrained(c core.Conflict) bool {
+	if c.Mean <= 0 {
+		return false
+	}
+	w := raW(chainK(c))
+	return c.Mean/c.B < 2*w/(w+1)
+}
+
+// Delay samples from the constrained density when applicable.
+func (m MeanRA) Delay(c core.Conflict, r *rng.Rand) float64 {
+	if !m.constrained(c) {
+		return ExpRA{}.Delay(c, r)
+	}
+	lo, hi := m.Support(c)
+	u := r.Float64()
+	cdf := func(x float64) float64 { return m.CDF(c, x) }
+	return dist.InvertCDF(cdf, u, lo, hi, hi*1e-12)
+}
+
+// Ratio returns 1 + µ(k-1)/(2BW) under the threshold, else the
+// unconstrained ratio.
+func (m MeanRA) Ratio(c core.Conflict) float64 {
+	if !m.constrained(c) {
+		return ExpRA{}.Ratio(c)
+	}
+	k := chainK(c)
+	return 1 + c.Mean*float64(k-1)/(2*c.B*raW(k))
+}
+
+// PDF implements Distribution.
+func (m MeanRA) PDF(c core.Conflict, x float64) float64 {
+	if !m.constrained(c) {
+		return ExpRA{}.PDF(c, x)
+	}
+	hi := core.MaxUsefulDelay(c)
+	if x < 0 || x > hi {
+		return 0
+	}
+	k := chainK(c)
+	return float64(k-1) * math.Expm1(x/c.B) / (c.B * raW(k))
+}
+
+// CDF implements Distribution.
+func (m MeanRA) CDF(c core.Conflict, x float64) float64 {
+	if !m.constrained(c) {
+		return ExpRA{}.CDF(c, x)
+	}
+	hi := core.MaxUsefulDelay(c)
+	x = dist.Clamp(x, 0, hi)
+	k := chainK(c)
+	// F(x) = (k-1) [B(e^{x/B}-1) - x] / (B W).
+	return float64(k-1) * (c.B*math.Expm1(x/c.B) - x) / (c.B * raW(k))
+}
+
+// Support implements Distribution.
+func (MeanRA) Support(c core.Conflict) (float64, float64) {
+	return 0, core.MaxUsefulDelay(c)
+}

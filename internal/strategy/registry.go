@@ -1,0 +1,63 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"txconflict/internal/core"
+)
+
+// ByName resolves a strategy from its table name (case-insensitive).
+// Recognized names: NO_DELAY, DELAY_TUNED:<x>, DET, RRW, RRW*,
+// RRW(mu), RRA, RRA(mu), HYBRID.
+func ByName(name string) (core.Strategy, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	if strings.HasPrefix(lower, "delay_tuned:") {
+		var x float64
+		if _, err := fmt.Sscanf(lower, "delay_tuned:%g", &x); err != nil {
+			return nil, fmt.Errorf("strategy: bad tuned delay in %q: %v", name, err)
+		}
+		return Fixed{X: x}, nil
+	}
+	switch lower {
+	case "no_delay", "nodelay", "immediate":
+		return Immediate{}, nil
+	case "det", "delay_det", "deterministic":
+		return Deterministic{}, nil
+	case "rrw", "delay_rand", "uniform":
+		return UniformRW{}, nil
+	case "rrw*", "generalrw":
+		return GeneralRW{}, nil
+	case "rrw(mu)", "rrwmu", "meanrw":
+		return MeanRW{}, nil
+	case "rra", "expra":
+		return ExpRA{}, nil
+	case "rra(mu)", "rramu", "meanra":
+		return MeanRA{}, nil
+	case "hybrid":
+		return Hybrid{}, nil
+	default:
+		return nil, fmt.Errorf("strategy: unknown strategy %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names lists the canonical registry names.
+func Names() []string {
+	n := []string{"NO_DELAY", "DELAY_TUNED:<x>", "DET", "RRW", "RRW*", "RRW(mu)", "RRA", "RRA(mu)", "HYBRID"}
+	sort.Strings(n)
+	return n
+}
+
+// Fig2Set returns the strategies compared in Figure 2 of the paper,
+// in presentation order: RRW(µ), RRA(µ), RRW, RRA, DET.
+func Fig2Set() []core.Strategy {
+	return []core.Strategy{MeanRW{}, MeanRA{}, UniformRW{}, ExpRA{}, Deterministic{}}
+}
+
+// Fig3Set returns the HTM conflict-resolution variants of Figure 3:
+// NO_DELAY, DELAY_TUNED (x must be filled in by the harness from
+// workload knowledge), DELAY_DET, DELAY_RAND.
+func Fig3Set(tuned float64) []core.Strategy {
+	return []core.Strategy{Immediate{}, Fixed{X: tuned}, Deterministic{}, UniformRW{}}
+}

@@ -1,0 +1,213 @@
+package strategy
+
+import (
+	"math"
+
+	"txconflict/internal/core"
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+)
+
+// ln4m1 is ln(4) - 1, the normalizing constant of Theorem 5's
+// mean-constrained density.
+var ln4m1 = math.Log(4) - 1
+
+// UniformRW is the unconstrained randomized requestor-wins strategy
+// of Theorem 5: the grace period is uniform on [0, B/(k-1)). It is
+// optimal for k = 2 and 2-competitive for every k; its simplicity
+// ("just choose a delay uniformly at random within some interval",
+// Section 9) makes it the DELAY_RAND implementation candidate for
+// real systems.
+type UniformRW struct{}
+
+// Delay draws uniformly from the useful support.
+func (UniformRW) Delay(c core.Conflict, r *rng.Rand) float64 {
+	return r.Float64() * core.MaxUsefulDelay(c)
+}
+
+// Name implements core.Strategy.
+func (UniformRW) Name() string { return "RRW" }
+
+// Ratio returns 2 (Theorem 5).
+func (UniformRW) Ratio(core.Conflict) float64 { return 2 }
+
+// PDF implements Distribution.
+func (UniformRW) PDF(c core.Conflict, x float64) float64 {
+	hi := core.MaxUsefulDelay(c)
+	if x < 0 || x > hi {
+		return 0
+	}
+	return 1 / hi
+}
+
+// CDF implements Distribution.
+func (UniformRW) CDF(c core.Conflict, x float64) float64 {
+	hi := core.MaxUsefulDelay(c)
+	return dist.Clamp(x/hi, 0, 1)
+}
+
+// Support implements Distribution.
+func (UniformRW) Support(c core.Conflict) (float64, float64) {
+	return 0, core.MaxUsefulDelay(c)
+}
+
+// GeneralRW is the unconstrained optimal randomized requestor-wins
+// strategy of Theorem 6 for conflict chains k >= 3:
+//
+//	p(x) = (k-1)^k (B+x)^{k-2} / (B^{k-1} S),   0 <= x <= B/(k-1),
+//	S = k^{k-1} - (k-1)^{k-1},
+//
+// with competitive ratio k^{k-1}/S (which decreases from 2 at k=2
+// towards e/(e-1) as k grows). For k = 2 it coincides with UniformRW.
+type GeneralRW struct{}
+
+// Delay samples by closed-form CDF inversion.
+func (GeneralRW) Delay(c core.Conflict, r *rng.Rand) float64 {
+	k := chainK(c)
+	if k == 2 {
+		return UniformRW{}.Delay(c, r)
+	}
+	_, k1k, s, _ := kPowers(k)
+	u := r.Float64()
+	// F(x) = (k-1)^{k-1} [(B+x)^{k-1} - B^{k-1}] / (B^{k-1} S)
+	// => x = B [ (1 + u S/(k-1)^{k-1})^{1/(k-1)} - 1 ].
+	return c.B * (pow(1+u*s/k1k, 1/float64(k-1)) - 1)
+}
+
+// Name implements core.Strategy.
+func (GeneralRW) Name() string { return "RRW*" }
+
+// Ratio returns k^{k-1}/S (Theorem 6, unconstrained corner).
+func (GeneralRW) Ratio(c core.Conflict) float64 {
+	k := chainK(c)
+	if k == 2 {
+		return 2
+	}
+	kk, _, s, _ := kPowers(k)
+	return kk / s
+}
+
+// PDF implements Distribution.
+func (GeneralRW) PDF(c core.Conflict, x float64) float64 {
+	k := chainK(c)
+	if k == 2 {
+		return UniformRW{}.PDF(c, x)
+	}
+	hi := core.MaxUsefulDelay(c)
+	if x < 0 || x > hi {
+		return 0
+	}
+	_, _, s, _ := kPowers(k)
+	kf := float64(k)
+	return pow(kf-1, kf) * pow(c.B+x, kf-2) / (pow(c.B, kf-1) * s)
+}
+
+// CDF implements Distribution.
+func (GeneralRW) CDF(c core.Conflict, x float64) float64 {
+	k := chainK(c)
+	if k == 2 {
+		return UniformRW{}.CDF(c, x)
+	}
+	hi := core.MaxUsefulDelay(c)
+	x = dist.Clamp(x, 0, hi)
+	_, k1k, s, _ := kPowers(k)
+	kf := float64(k)
+	return k1k * (pow(c.B+x, kf-1) - pow(c.B, kf-1)) / (pow(c.B, kf-1) * s)
+}
+
+// Support implements Distribution.
+func (GeneralRW) Support(c core.Conflict) (float64, float64) {
+	return 0, core.MaxUsefulDelay(c)
+}
+
+// MeanRW is the mean-constrained randomized requestor-wins strategy:
+// Theorem 5 for k = 2 and the (corrected, see the package comment)
+// Theorem 6 for k >= 3. When the profiled mean µ is large relative to
+// B the constrained corner is infeasible and the strategy falls back
+// to the unconstrained optimum.
+type MeanRW struct{}
+
+// Name implements core.Strategy.
+func (MeanRW) Name() string { return "RRW(mu)" }
+
+// constrained reports whether the mean-constrained corner applies.
+func (MeanRW) constrained(c core.Conflict) bool {
+	if c.Mean <= 0 {
+		return false
+	}
+	k := chainK(c)
+	if k == 2 {
+		return c.Mean/c.B < 2*ln4m1
+	}
+	_, _, s, tt := kPowers(k)
+	return c.Mean/c.B < 2*tt/(float64(k-2)*s)
+}
+
+// Delay samples from the constrained density when applicable, else
+// from the unconstrained optimum.
+func (m MeanRW) Delay(c core.Conflict, r *rng.Rand) float64 {
+	if !m.constrained(c) {
+		return GeneralRW{}.Delay(c, r)
+	}
+	lo, hi := m.Support(c)
+	u := r.Float64()
+	cdf := func(x float64) float64 { return m.CDF(c, x) }
+	return dist.InvertCDF(cdf, u, lo, hi, hi*1e-12)
+}
+
+// Ratio returns the analytic competitive ratio: Theorem 5's
+// 1 + µ/(2B(ln4-1)) for k=2 and 1 + µ(k-2)(k-1)^{k-1}/(2BT) for
+// k >= 3, or the unconstrained ratio when the threshold fails.
+func (m MeanRW) Ratio(c core.Conflict) float64 {
+	if !m.constrained(c) {
+		return GeneralRW{}.Ratio(c)
+	}
+	k := chainK(c)
+	if k == 2 {
+		return 1 + c.Mean/(2*c.B*ln4m1)
+	}
+	_, k1k, _, tt := kPowers(k)
+	return 1 + c.Mean*float64(k-2)*k1k/(2*c.B*tt)
+}
+
+// PDF implements Distribution.
+func (m MeanRW) PDF(c core.Conflict, x float64) float64 {
+	if !m.constrained(c) {
+		return GeneralRW{}.PDF(c, x)
+	}
+	hi := core.MaxUsefulDelay(c)
+	if x < 0 || x > hi {
+		return 0
+	}
+	k := chainK(c)
+	if k == 2 {
+		// p(x) = ln((B+x)/B) / (B (ln4 - 1)).
+		return math.Log((c.B+x)/c.B) / (c.B * ln4m1)
+	}
+	_, _, _, tt := kPowers(k)
+	kf := float64(k)
+	return pow(kf-1, kf) * (pow(c.B+x, kf-2) - pow(c.B, kf-2)) / (pow(c.B, kf-1) * tt)
+}
+
+// CDF implements Distribution.
+func (m MeanRW) CDF(c core.Conflict, x float64) float64 {
+	if !m.constrained(c) {
+		return GeneralRW{}.CDF(c, x)
+	}
+	hi := core.MaxUsefulDelay(c)
+	x = dist.Clamp(x, 0, hi)
+	k := chainK(c)
+	if k == 2 {
+		// F(x) = [(B+x) ln((B+x)/B) - x] / (B (ln4-1)).
+		return ((c.B+x)*math.Log((c.B+x)/c.B) - x) / (c.B * ln4m1)
+	}
+	_, k1k, _, tt := kPowers(k)
+	kf := float64(k)
+	num := pow(c.B+x, kf-1) - pow(c.B, kf-1) - (kf-1)*pow(c.B, kf-2)*x
+	return k1k * num / (pow(c.B, kf-1) * tt)
+}
+
+// Support implements Distribution.
+func (MeanRW) Support(c core.Conflict) (float64, float64) {
+	return 0, core.MaxUsefulDelay(c)
+}

@@ -1,0 +1,138 @@
+// Package strategy implements every grace-period decision algorithm
+// from "The Transactional Conflict Problem" (SPAA 2018):
+//
+//   - Immediate        — abort at once (the NO_DELAY baseline)
+//   - Fixed            — a hand-tuned constant delay (DELAY_TUNED)
+//   - Deterministic    — Theorem 4: wait exactly B/(k-1) (DET)
+//   - UniformRW        — Theorem 5 unconstrained: uniform on
+//     [0, B/(k-1)], 2-competitive (RRW / DELAY_RAND)
+//   - GeneralRW        — Theorem 6 unconstrained optimum for k >= 3
+//   - MeanRW           — Theorems 5/6 mean-constrained optimum (RRW(µ))
+//   - ExpRA            — Theorems 1/3 unconstrained requestor-aborts
+//     optimum, the continuous ski-rental strategy (RRA)
+//   - MeanRA           — Theorems 2/3 mean-constrained requestor-aborts
+//     optimum (RRA(µ))
+//   - Hybrid           — Section 9: requestor-aborts for k = 2,
+//     requestor-wins for longer chains
+//
+// Every randomized strategy also exposes its density, CDF and support
+// so that property tests can verify normalization, positivity, and
+// agreement between closed-form CDFs and numerically integrated PDFs.
+//
+// Erratum note: the printed form of Theorem 6's mean-constrained PDF
+// is negative at x=0 for k=3 and its Lagrange corner gives a
+// competitive ratio below 1, which is impossible; re-deriving the
+// corner from the paper's own constraints (normalization + p(0) >= 0
+// binding) yields
+//
+//	p(x) = (k-1)^k [(B+x)^{k-2} - B^{k-2}] / (B^{k-1} T),
+//	T = k^{k-1} - 2(k-1)^{k-1},
+//
+// with ratio 1 + µ(k-2)(k-1)^{k-1}/(2BT) under the threshold
+// µ/B < 2T/((k-2)S), S = k^{k-1} - (k-1)^{k-1}. At the threshold this
+// ratio is exactly continuous with the unconstrained optimum
+// k^{k-1}/S, mirroring the verified k=2 structure of Theorem 5; that
+// continuity check is enforced in the tests.
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+)
+
+// Distribution is implemented by randomized strategies; it exposes the
+// delay density for verification and analysis.
+type Distribution interface {
+	core.Strategy
+	// PDF evaluates the delay density at x for the given conflict.
+	PDF(c core.Conflict, x float64) float64
+	// CDF evaluates the cumulative distribution at x.
+	CDF(c core.Conflict, x float64) float64
+	// Support returns the interval [lo, hi] outside which the
+	// density is zero.
+	Support(c core.Conflict) (lo, hi float64)
+}
+
+// Analytic is implemented by strategies with a closed-form
+// competitive ratio.
+type Analytic interface {
+	// Ratio returns the analytic competitive ratio for the conflict
+	// parameters (B, k, and µ when used).
+	Ratio(c core.Conflict) float64
+}
+
+// chainK clamps the conflict chain length to at least 2.
+func chainK(c core.Conflict) int {
+	if c.K < 2 {
+		return 2
+	}
+	return c.K
+}
+
+// Immediate aborts without any grace period: the NO_DELAY baseline of
+// Section 8.2.
+type Immediate struct{}
+
+// Delay returns 0.
+func (Immediate) Delay(core.Conflict, *rng.Rand) float64 { return 0 }
+
+// Name implements core.Strategy.
+func (Immediate) Name() string { return "NO_DELAY" }
+
+// Fixed waits a hand-chosen constant grace period, clamped to the
+// useful support [0, B/(k-1)]. It models the paper's DELAY_TUNED
+// baseline, where the tuner knows the workload's fast-path length.
+type Fixed struct {
+	// X is the tuned delay.
+	X float64
+}
+
+// Delay returns min(X, MaxUsefulDelay).
+func (f Fixed) Delay(c core.Conflict, _ *rng.Rand) float64 {
+	return math.Min(f.X, core.MaxUsefulDelay(c))
+}
+
+// Name implements core.Strategy.
+func (f Fixed) Name() string { return "DELAY_TUNED" }
+
+// Deterministic is the optimal deterministic requestor-wins strategy
+// of Theorem 4: always wait exactly B/(k-1).
+type Deterministic struct{}
+
+// Delay returns B/(k-1).
+func (Deterministic) Delay(c core.Conflict, _ *rng.Rand) float64 {
+	return c.B / float64(chainK(c)-1)
+}
+
+// Name implements core.Strategy.
+func (Deterministic) Name() string { return "DET" }
+
+// Ratio returns 2 + 1/(k-1) (Theorem 4).
+func (Deterministic) Ratio(c core.Conflict) float64 {
+	return 2 + 1/float64(chainK(c)-1)
+}
+
+// pow is a readability alias for math.Pow.
+func pow(b, e float64) float64 { return math.Pow(b, e) }
+
+// kPowers returns k^{k-1}, (k-1)^{k-1}, S = k^{k-1}-(k-1)^{k-1} and
+// T = k^{k-1}-2(k-1)^{k-1} for the Theorem 6 family.
+func kPowers(k int) (kk, k1k, s, tt float64) {
+	kf := float64(k)
+	kk = pow(kf, kf-1)
+	k1k = pow(kf-1, kf-1)
+	s = kk - k1k
+	tt = kk - 2*k1k
+	return
+}
+
+// String renders a strategy name with conflict context, for tables.
+func Describe(s core.Strategy, c core.Conflict) string {
+	if a, ok := s.(Analytic); ok {
+		return fmt.Sprintf("%s (ratio %.3f)", s.Name(), a.Ratio(c))
+	}
+	return s.Name()
+}

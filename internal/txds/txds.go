@@ -1,0 +1,264 @@
+// Package txds implements the paper's benchmark data structures on
+// top of the internal/stm runtime: a transactional stack and queue
+// (Section 8.2's contended structures), a counter, a bank (classic
+// transfer workload), and the 2-of-64-objects transactional
+// application with uniform and bimodal transaction lengths.
+//
+// Every structure exposes a committed-state invariant so concurrency
+// tests double as serializability checks.
+package txds
+
+import (
+	"errors"
+
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+)
+
+// ErrFull and ErrEmpty are user-level (non-retry) transaction
+// outcomes.
+var (
+	ErrFull  = errors.New("txds: structure full")
+	ErrEmpty = errors.New("txds: structure empty")
+)
+
+// Stack is a bounded transactional stack.
+//
+// Word layout: [0] size, [1..cap] elements.
+type Stack struct {
+	rt  *stm.Runtime
+	cap int
+}
+
+// NewStack creates a stack with the given capacity and STM config.
+func NewStack(capacity int, cfg stm.Config) *Stack {
+	return &Stack{rt: stm.New(capacity+1, cfg), cap: capacity}
+}
+
+// Runtime exposes the underlying STM runtime (stats, verification).
+func (s *Stack) Runtime() *stm.Runtime { return s.rt }
+
+// Push adds v; returns ErrFull when at capacity.
+func (s *Stack) Push(r *rng.Rand, v uint64) error {
+	return s.rt.Atomic(r, func(tx *stm.Tx) error {
+		size := tx.Load(0)
+		if int(size) >= s.cap {
+			return ErrFull
+		}
+		tx.Store(1+int(size), v)
+		tx.Store(0, size+1)
+		return nil
+	})
+}
+
+// Pop removes and returns the top element; ErrEmpty when empty.
+func (s *Stack) Pop(r *rng.Rand) (uint64, error) {
+	var out uint64
+	err := s.rt.Atomic(r, func(tx *stm.Tx) error {
+		size := tx.Load(0)
+		if size == 0 {
+			return ErrEmpty
+		}
+		out = tx.Load(int(size))
+		tx.Store(0, size-1)
+		return nil
+	})
+	return out, err
+}
+
+// Len returns the committed size.
+func (s *Stack) Len() int { return int(s.rt.ReadCommitted(0)) }
+
+// Queue is a bounded transactional ring-buffer queue.
+//
+// Word layout: [0] head, [1] tail, [2..2+cap) slots.
+type Queue struct {
+	rt  *stm.Runtime
+	cap int
+}
+
+// NewQueue creates a queue with the given capacity and STM config.
+func NewQueue(capacity int, cfg stm.Config) *Queue {
+	return &Queue{rt: stm.New(capacity+2, cfg), cap: capacity}
+}
+
+// Runtime exposes the underlying STM runtime.
+func (q *Queue) Runtime() *stm.Runtime { return q.rt }
+
+// Enqueue appends v; ErrFull when at capacity.
+func (q *Queue) Enqueue(r *rng.Rand, v uint64) error {
+	return q.rt.Atomic(r, func(tx *stm.Tx) error {
+		head, tail := tx.Load(0), tx.Load(1)
+		if tail-head >= uint64(q.cap) {
+			return ErrFull
+		}
+		tx.Store(2+int(tail%uint64(q.cap)), v)
+		tx.Store(1, tail+1)
+		return nil
+	})
+}
+
+// Dequeue removes and returns the oldest element; ErrEmpty when
+// empty.
+func (q *Queue) Dequeue(r *rng.Rand) (uint64, error) {
+	var out uint64
+	err := q.rt.Atomic(r, func(tx *stm.Tx) error {
+		head, tail := tx.Load(0), tx.Load(1)
+		if head == tail {
+			return ErrEmpty
+		}
+		out = tx.Load(2 + int(head%uint64(q.cap)))
+		tx.Store(0, head+1)
+		return nil
+	})
+	return out, err
+}
+
+// Len returns the committed occupancy.
+func (q *Queue) Len() int {
+	return int(q.rt.ReadCommitted(1) - q.rt.ReadCommitted(0))
+}
+
+// Counter is a shared transactional counter.
+type Counter struct{ rt *stm.Runtime }
+
+// NewCounter creates a counter.
+func NewCounter(cfg stm.Config) *Counter { return &Counter{rt: stm.New(1, cfg)} }
+
+// Runtime exposes the underlying STM runtime.
+func (c *Counter) Runtime() *stm.Runtime { return c.rt }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(r *rng.Rand, delta uint64) {
+	_ = c.rt.Atomic(r, func(tx *stm.Tx) error {
+		tx.Store(0, tx.Load(0)+delta)
+		return nil
+	})
+}
+
+// Value returns the committed count.
+func (c *Counter) Value() uint64 { return c.rt.ReadCommitted(0) }
+
+// Bank is the classic transfer benchmark: serializability conserves
+// the total balance.
+type Bank struct {
+	rt *stm.Runtime
+	n  int
+}
+
+// NewBank creates n accounts, each holding initial.
+func NewBank(n int, initial uint64, cfg stm.Config) *Bank {
+	b := &Bank{rt: stm.New(n, cfg), n: n}
+	r := rng.New(0)
+	for i := 0; i < n; i++ {
+		i := i
+		_ = b.rt.Atomic(r, func(tx *stm.Tx) error {
+			tx.Store(i, initial)
+			return nil
+		})
+	}
+	return b
+}
+
+// Runtime exposes the underlying STM runtime.
+func (b *Bank) Runtime() *stm.Runtime { return b.rt }
+
+// Accounts returns the number of accounts.
+func (b *Bank) Accounts() int { return b.n }
+
+// Transfer moves amount from one random account to another.
+func (b *Bank) Transfer(r *rng.Rand, amount uint64) {
+	from, to := r.TwoDistinct(b.n)
+	_ = b.rt.Atomic(r, func(tx *stm.Tx) error {
+		fv, tv := tx.Load(from), tx.Load(to)
+		tx.Store(from, fv-amount)
+		tx.Store(to, tv+amount)
+		return nil
+	})
+}
+
+// Total returns the committed sum of all balances.
+func (b *Bank) Total() uint64 {
+	var total uint64
+	for i := 0; i < b.n; i++ {
+		total += b.rt.ReadCommitted(i)
+	}
+	return total
+}
+
+// App is the paper's transactional application: each operation
+// jointly acquires and modifies two distinct objects out of Objects,
+// spinning for a workload-dependent number of iterations in between.
+// Committed invariant: Σ objects = 2 * committed ops.
+type App struct {
+	rt      *stm.Runtime
+	objects int
+	// Spin returns the busy-work iterations for the next
+	// transaction; constant for the uniform application, two-point
+	// for the bimodal one.
+	Spin func(r *rng.Rand) int
+}
+
+// NewApp creates the uniform-length application over 64 objects.
+func NewApp(spin int, cfg stm.Config) *App {
+	return &App{
+		rt:      stm.New(64, cfg),
+		objects: 64,
+		Spin:    func(*rng.Rand) int { return spin },
+	}
+}
+
+// NewBimodalApp creates the bimodal application: with probability
+// pShort the transaction spins shortSpin iterations, otherwise
+// longSpin (the "short and very long" mix of Figure 3).
+func NewBimodalApp(shortSpin, longSpin int, pShort float64, cfg stm.Config) *App {
+	return &App{
+		rt:      stm.New(64, cfg),
+		objects: 64,
+		Spin: func(r *rng.Rand) int {
+			if r.Bool(pShort) {
+				return shortSpin
+			}
+			return longSpin
+		},
+	}
+}
+
+// Runtime exposes the underlying STM runtime.
+func (a *App) Runtime() *stm.Runtime { return a.rt }
+
+// Op runs one transaction: read-modify-write two random objects with
+// busy work in between.
+func (a *App) Op(r *rng.Rand) {
+	i, j := r.TwoDistinct(a.objects)
+	spin := a.Spin(r)
+	_ = a.rt.Atomic(r, func(tx *stm.Tx) error {
+		vi := tx.Load(i)
+		tx.Store(i, vi+1)
+		busyWork(spin)
+		vj := tx.Load(j)
+		tx.Store(j, vj+1)
+		return nil
+	})
+}
+
+// ObjectSum returns the committed sum over all objects.
+func (a *App) ObjectSum() uint64 {
+	var sum uint64
+	for i := 0; i < a.objects; i++ {
+		sum += a.rt.ReadCommitted(i)
+	}
+	return sum
+}
+
+// busyWork spins for n iterations of integer work, keeping the
+// transaction on-CPU like real computation (no sleeping).
+func busyWork(n int) {
+	x := uint64(1)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	if x == 42 {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,291 @@
+package txds
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+	"txconflict/internal/strategy"
+)
+
+func testConfigs() []stm.Config {
+	base := stm.DefaultConfig()
+	raCfg := base
+	raCfg.Policy = core.RequestorAborts
+	raCfg.Strategy = strategy.ExpRA{}
+	noDelay := base
+	noDelay.Strategy = nil
+	lazy := base
+	lazy.Lazy = true
+	return []stm.Config{base, raCfg, noDelay, lazy}
+}
+
+func TestStackSequential(t *testing.T) {
+	s := NewStack(4, stm.DefaultConfig())
+	r := rng.New(1)
+	if _, err := s.Pop(r); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("pop empty: %v", err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if err := s.Push(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Push(r, 99); !errors.Is(err, ErrFull) {
+		t.Fatalf("push full: %v", err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := 3; i >= 0; i-- {
+		v, err := s.Pop(r)
+		if err != nil || v != uint64(i) {
+			t.Fatalf("pop = %d,%v want %d", v, err, i)
+		}
+	}
+}
+
+func TestQueueSequential(t *testing.T) {
+	q := NewQueue(3, stm.DefaultConfig())
+	r := rng.New(1)
+	if _, err := q.Dequeue(r); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("deq empty: %v", err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if err := q.Enqueue(r, i+10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Enqueue(r, 99); !errors.Is(err, ErrFull) {
+		t.Fatalf("enq full: %v", err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		v, err := q.Dequeue(r)
+		if err != nil || v != i+10 {
+			t.Fatalf("deq = %d,%v want %d", v, err, i+10)
+		}
+	}
+	// Ring wrap-around.
+	for round := 0; round < 10; round++ {
+		if err := q.Enqueue(r, uint64(round)); err != nil {
+			t.Fatal(err)
+		}
+		v, err := q.Dequeue(r)
+		if err != nil || v != uint64(round) {
+			t.Fatalf("wrap deq = %d,%v", v, err)
+		}
+	}
+}
+
+func TestStackConcurrentAlternating(t *testing.T) {
+	for _, cfg := range testConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			s := NewStack(256, cfg)
+			const goroutines, pairs = 8, 800
+			root := rng.New(42)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				r := root.Split()
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < pairs; i++ {
+						if err := s.Push(r, uint64(g)); err != nil {
+							t.Errorf("push: %v", err)
+							return
+						}
+						if _, err := s.Pop(r); err != nil {
+							t.Errorf("pop: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if s.Len() != 0 {
+				t.Fatalf("stack not empty after balanced ops: %d", s.Len())
+			}
+			st := s.Runtime().Stats.Snapshot()
+			if st["commits"] != goroutines*pairs*2 {
+				t.Fatalf("commits = %d, want %d", st["commits"], goroutines*pairs*2)
+			}
+		})
+	}
+}
+
+func TestQueueConcurrentAlternating(t *testing.T) {
+	for _, cfg := range testConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			q := NewQueue(256, cfg)
+			const goroutines, pairs = 8, 800
+			root := rng.New(43)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				r := root.Split()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < pairs; i++ {
+						if err := q.Enqueue(r, 1); err != nil {
+							t.Errorf("enq: %v", err)
+							return
+						}
+						if _, err := q.Dequeue(r); err != nil {
+							t.Errorf("deq: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if q.Len() != 0 {
+				t.Fatalf("queue not empty: %d", q.Len())
+			}
+		})
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(stm.DefaultConfig())
+	const goroutines, perG = 8, 2000
+	root := rng.New(44)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		r := root.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(r, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestBankConservation(t *testing.T) {
+	for _, cfg := range testConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			b := NewBank(16, 1000, cfg)
+			const goroutines, perG = 8, 1000
+			root := rng.New(45)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				r := root.Split()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						b.Transfer(r, 1)
+					}
+				}()
+			}
+			wg.Wait()
+			if got := b.Total(); got != 16*1000 {
+				t.Fatalf("total = %d, want %d", got, 16000)
+			}
+		})
+	}
+}
+
+func TestAppInvariant(t *testing.T) {
+	for _, cfg := range testConfigs() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			t.Parallel()
+			a := NewApp(100, cfg)
+			const goroutines, perG = 8, 500
+			root := rng.New(46)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				r := root.Split()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						a.Op(r)
+					}
+				}()
+			}
+			wg.Wait()
+			if got := a.ObjectSum(); got != 2*goroutines*perG {
+				t.Fatalf("object sum = %d, want %d", got, 2*goroutines*perG)
+			}
+		})
+	}
+}
+
+func TestBimodalApp(t *testing.T) {
+	a := NewBimodalApp(10, 5000, 0.5, stm.DefaultConfig())
+	const goroutines, perG = 4, 200
+	root := rng.New(47)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		r := root.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				a.Op(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.ObjectSum(); got != 2*goroutines*perG {
+		t.Fatalf("object sum = %d, want %d", got, 2*goroutines*perG)
+	}
+}
+
+func TestBimodalSpinMix(t *testing.T) {
+	a := NewBimodalApp(1, 999, 0.5, stm.DefaultConfig())
+	r := rng.New(48)
+	short, long := 0, 0
+	for i := 0; i < 1000; i++ {
+		switch a.Spin(r) {
+		case 1:
+			short++
+		case 999:
+			long++
+		default:
+			t.Fatal("unexpected spin value")
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("bimodal mix degenerate: %d/%d", short, long)
+	}
+}
+
+func BenchmarkStackContended(b *testing.B) {
+	s := NewStack(1024, stm.DefaultConfig())
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(uint64(time.Now().UnixNano()))
+		for pb.Next() {
+			_ = s.Push(r, 1)
+			_, _ = s.Pop(r)
+		}
+	})
+}
+
+func BenchmarkAppContended(b *testing.B) {
+	a := NewApp(50, stm.DefaultConfig())
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(uint64(time.Now().UnixNano()))
+		for pb.Next() {
+			a.Op(r)
+		}
+	})
+}

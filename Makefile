@@ -1,0 +1,29 @@
+# Development targets. CI runs build/vet/test; race-short is the
+# concurrency smoke check for the two real-goroutine runtimes.
+
+GO ?= go
+
+.PHONY: all build vet test race-short bench tidy
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the runtimes with real concurrency
+# (internal/stm: goroutine STM; internal/htm: simulator driven from
+# worker goroutines). -short keeps it inside CI budgets.
+race-short:
+	$(GO) test -race -short ./internal/stm/ ./internal/htm/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+tidy:
+	$(GO) mod tidy

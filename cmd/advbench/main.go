@@ -8,7 +8,14 @@
 //
 //	advbench                 # Corollary 1 table over all adversaries
 //	advbench -progress       # Corollary 2 attempt-bound experiment
+//	advbench -timeline       # operational multi-thread validation
 //	advbench -ntx 100000     # bigger schedules
+//	advbench -dist pareto    # draw lengths from a named distribution
+//
+// -dist accepts any name from internal/dist (constant, uniform,
+// exponential, lognormal, bimodal, pareto, zipf, trace) and replaces
+// the default length distributions of the random and high-contention
+// adversaries and of the timeline; -mu sets its mean.
 package main
 
 import (
@@ -31,20 +38,31 @@ func main() {
 		timeline = flag.Bool("timeline", false, "run the operational multi-thread timeline validation")
 		ntx      = flag.Int("ntx", 20000, "transactions per adversarial schedule")
 		trials   = flag.Int("trials", 5000, "trials for the progress experiment")
+		distName = flag.String("dist", "", "named length distribution overriding the defaults")
+		mu       = flag.Float64("mu", 150, "mean transaction length for -dist")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text")
 	)
 	flag.Parse()
 	r := rng.New(*seed)
 
+	var lengths dist.Sampler
+	if *distName != "" {
+		var err error
+		if lengths, err = dist.ByName(*distName, *mu); err != nil {
+			fmt.Fprintln(os.Stderr, "advbench:", err)
+			os.Exit(2)
+		}
+	}
+
 	var tab *report.Table
 	switch {
 	case *progress:
 		tab = progressTable(*trials, r)
 	case *timeline:
-		tab = timelineTable(*ntx, *seed)
+		tab = timelineTable(*ntx, *seed, lengths)
 	default:
-		tab = corollary1Table(*ntx, r)
+		tab = corollary1Table(*ntx, lengths, r)
 	}
 	var err error
 	if *csv {
@@ -58,15 +76,19 @@ func main() {
 	}
 }
 
-func corollary1Table(ntx int, r *rng.Rand) *report.Table {
+func corollary1Table(ntx int, lengths dist.Sampler, r *rng.Rand) *report.Table {
 	t := &report.Table{
 		Title:   "Corollary 1: sum-of-running-times ratio vs (r·w+1)/(w+1) bound",
 		Columns: []string{"adversary", "policy", "strategy", "waste w", "ratio", "bound", "holds"},
 	}
+	l1, l2, l3 := dist.Sampler(dist.Exponential{Mu: 200}), dist.Sampler(dist.UniformMean(300)), dist.Sampler(dist.Exponential{Mu: 100})
+	if lengths != nil {
+		l1, l2, l3 = lengths, lengths, lengths
+	}
 	gens := []adversary.Generator{
-		adversary.Random{NTx: ntx, Lengths: dist.Exponential{Mu: 200}, ConflictFrac: 0.5, K: 2, Cleanup: 50},
-		adversary.Random{NTx: ntx, Lengths: dist.UniformMean(300), ConflictFrac: 0.9, K: 3, Cleanup: 20},
-		adversary.HighContention{NTx: ntx, Lengths: dist.Exponential{Mu: 100}, KMax: 6, Cleanup: 30},
+		adversary.Random{NTx: ntx, Lengths: l1, ConflictFrac: 0.5, K: 2, Cleanup: 50},
+		adversary.Random{NTx: ntx, Lengths: l2, ConflictFrac: 0.9, K: 3, Cleanup: 20},
+		adversary.HighContention{NTx: ntx, Lengths: l3, KMax: 6, Cleanup: 30},
 		adversary.AntiDeterministic{NTx: ntx, K: 2, Cleanup: 25},
 	}
 	cases := []struct {
@@ -127,7 +149,10 @@ func progressTable(trials int, r *rng.Rand) *report.Table {
 	return t
 }
 
-func timelineTable(ntx int, seed uint64) *report.Table {
+func timelineTable(ntx int, seed uint64, lengths dist.Sampler) *report.Table {
+	if lengths == nil {
+		lengths = dist.Exponential{Mu: 120}
+	}
 	t := &report.Table{
 		Title:   "Operational timeline: sum of running times vs clairvoyant optimum",
 		Columns: []string{"policy", "strategy", "threads", "waste w", "ratio", "bound", "grace saves"},
@@ -144,7 +169,7 @@ func timelineTable(ntx int, seed uint64) *report.Table {
 			p := adversary.TimelineParams{
 				Threads:      n,
 				TxPerThread:  ntx / n,
-				Lengths:      dist.Exponential{Mu: 120},
+				Lengths:      lengths,
 				ConflictFrac: 0.4,
 				Cleanup:      40,
 				Policy:       c.pol,

@@ -74,6 +74,13 @@ func main() {
 		synth.Crossover(10),
 		synth.RatioValidation(1000, trials/4, *seed))
 
+	// Scenario diversity beyond the paper: the extended distribution
+	// suite (heavy-tailed, rank-skewed, trace replay) in both Figure 2
+	// cost regimes.
+	save("distsweep.txt",
+		synth.ExtendedSweep(2000, 500, 2, trials, *seed),
+		synth.ExtendedSweep(200, 500, 2, trials, *seed))
+
 	// E4-E7: Figure 3 on the HTM simulator.
 	cfg := experiments.DefaultFig3Config()
 	cfg.Cycles = cycles

@@ -11,8 +11,15 @@
 //	synthbench -abortprob         # Section 5.3 abort probabilities
 //	synthbench -crossover         # RW vs RA ratios by chain length
 //	synthbench -ratios            # empirical vs analytic ratios
+//	synthbench -sweep             # extended distribution suite sweep
+//	synthbench -dist pareto       # sweep one named distribution
 //	synthbench -all               # everything
 //	synthbench -fig 2a -csv       # CSV instead of aligned text
+//
+// The sweeps accept -b, -mu and -k to reshape the conflict (fixed
+// abort cost, mean transaction length, chain length); -dist accepts
+// any name from internal/dist (constant, uniform, exponential,
+// lognormal, bimodal, pareto, zipf, trace).
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"txconflict/internal/dist"
 	"txconflict/internal/report"
 	"txconflict/internal/synth"
 )
@@ -30,12 +38,28 @@ func main() {
 		abortProb = flag.Bool("abortprob", false, "run the Section 5.3 abort-probability experiment")
 		crossover = flag.Bool("crossover", false, "print the RW vs RA crossover table")
 		ratios    = flag.Bool("ratios", false, "validate empirical competitive ratios")
+		sweep     = flag.Bool("sweep", false, "sweep the extended distribution suite")
+		distName  = flag.String("dist", "", "sweep a single named length distribution")
 		all       = flag.Bool("all", false, "run every synthetic experiment")
 		trials    = flag.Int("trials", 200000, "trials per cell")
+		b         = flag.Float64("b", 2000, "fixed abort cost B for the sweeps")
+		mu        = flag.Float64("mu", 500, "mean transaction length for the sweeps")
+		k         = flag.Int("k", 2, "conflict chain length for the sweeps")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text")
 	)
 	flag.Parse()
+
+	// Validate the distribution name before burning trials on the
+	// other experiments.
+	var single dist.Sampler
+	if *distName != "" {
+		var err error
+		if single, err = dist.ByName(*distName, *mu); err != nil {
+			fmt.Fprintln(os.Stderr, "synthbench:", err)
+			os.Exit(2)
+		}
+	}
 
 	var tables []*report.Table
 	add := func(t *report.Table) { tables = append(tables, t) }
@@ -57,6 +81,12 @@ func main() {
 	}
 	if *all || *ratios {
 		add(synth.RatioValidation(1000, *trials/4, *seed))
+	}
+	if *all || *sweep {
+		add(synth.ExtendedSweep(*b, *mu, *k, *trials, *seed))
+	}
+	if single != nil {
+		add(synth.Sweep([]dist.Sampler{single}, *b, *k, *trials, *seed))
 	}
 	if len(tables) == 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do; try -all or -fig 2a (see -h)")

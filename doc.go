@@ -4,11 +4,16 @@
 // under both requestor-wins and requestor-aborts resolution.
 //
 // The repository contains the strategy family (internal/strategy),
-// the conflict cost model (internal/core), a cycle-level HTM
-// multicore simulator with directory MSI coherence (internal/htm and
-// friends) standing in for the paper's Graphite setup, a hand-rolled
-// software transactional runtime for real-goroutine experiments
-// (internal/stm), and harnesses regenerating every figure of the
-// paper's evaluation (internal/synth, internal/adversary,
-// internal/experiments; see bench_test.go, cmd/ and EXPERIMENTS.md).
+// the conflict cost model (internal/core), the transaction-length
+// distribution subsystem (internal/dist: the Figure 2 suite —
+// constant, uniform, exponential, lognormal, bimodal — plus
+// heavy-tailed pareto, rank-skewed zipf and empirical trace replay,
+// and the CDF-inversion/integration helpers the strategies use), a
+// cycle-level HTM multicore simulator with directory MSI coherence
+// (internal/htm and friends) standing in for the paper's Graphite
+// setup, a hand-rolled software transactional runtime for
+// real-goroutine experiments (internal/stm), and harnesses
+// regenerating every figure of the paper's evaluation
+// (internal/synth, internal/adversary, internal/experiments; see
+// bench_test.go, cmd/ and EXPERIMENTS.md).
 package txconflict

@@ -1,0 +1,3 @@
+module txconflict
+
+go 1.24

@@ -1,0 +1,58 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+)
+
+// TestGoldenSchedules locks schedule determinism: the same seed must
+// produce byte-identical Random and HighContention schedules across
+// independent generator runs, so every adversarial figure is
+// reproducible from its seed alone.
+func TestGoldenSchedules(t *testing.T) {
+	gens := []Generator{
+		Random{NTx: 500, Lengths: dist.Exponential{Mu: 200}, ConflictFrac: 0.5, K: 2, Cleanup: 50, FeedMean: true},
+		Random{NTx: 500, Lengths: dist.UniformMean(300), ConflictFrac: 0.9, K: 3, Cleanup: 20},
+		HighContention{NTx: 500, Lengths: dist.Exponential{Mu: 100}, KMax: 6, Cleanup: 30},
+		HighContention{NTx: 500, Lengths: dist.BimodalMean(250), KMax: 4, Cleanup: 10},
+	}
+	for _, g := range gens {
+		a := g.Generate(rng.New(77))
+		b := g.Generate(rng.New(77))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different schedules", g.Name())
+		}
+		c := g.Generate(rng.New(78))
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical schedules", g.Name())
+		}
+	}
+}
+
+// TestGoldenTimeline extends the determinism contract to the
+// operational simulation: identical TimelineParams (same seed) must
+// produce identical results, for every sampler family the CLIs can
+// select.
+func TestGoldenTimeline(t *testing.T) {
+	for _, name := range dist.Names() {
+		d, err := dist.ByName(name, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := TimelineParams{
+			Threads:      3,
+			TxPerThread:  200,
+			Lengths:      d,
+			ConflictFrac: 0.4,
+			Cleanup:      40,
+			Seed:         2024,
+		}
+		a, b := RunTimeline(p), RunTimeline(p)
+		if a != b {
+			t.Errorf("%s: timeline diverged for identical params:\n%+v\n%+v", name, a, b)
+		}
+	}
+}

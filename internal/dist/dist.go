@@ -1,0 +1,313 @@
+// Package dist provides the transaction-length distributions of the
+// paper's evaluation (Section 8.1) and the numeric machinery the
+// strategy family needs to manipulate delay densities.
+//
+// The paper's optimal grace-period strategies (Theorems 1-6) are
+// derived against distributions of the unknown remaining time, and
+// Figure 2 sweeps a suite of length distributions; this package is
+// the single home for both:
+//
+//   - Sampler implementations for every workload generator
+//     (Constant, Uniform, Exponential, Lognormal, Bimodal, plus the
+//     heavy-tailed Pareto, the rank-skewed Zipf, and Empirical
+//     trace replay);
+//   - Fig2Suite, the five-distribution catalog that Figure 2 sweeps,
+//     and ExtendedSuite/ByName for the CLI benchmarks;
+//   - numeric helpers (Clamp, InvertCDF, IntegratePDF, CDFFromPDF)
+//     used by internal/strategy to invert closed-form CDFs and by the
+//     property tests to verify normalization.
+//
+// All randomness flows through internal/rng, so every draw sequence
+// is reproducible from a seed.
+package dist
+
+import (
+	"math"
+
+	"txconflict/internal/rng"
+)
+
+// Sampler draws isolated transaction lengths. Implementations must be
+// deterministic functions of the stream r, so that a fixed seed
+// reproduces a fixed schedule.
+type Sampler interface {
+	// Sample draws one transaction length. Draws are >= 0; callers
+	// that need strict positivity clamp to 1.
+	Sample(r *rng.Rand) float64
+	// Mean returns the distribution's mean µ, which profilers feed to
+	// the mean-constrained strategies.
+	Mean() float64
+	// Name identifies the distribution in tables and CLI flags.
+	Name() string
+}
+
+// Constant always returns V: the degenerate distribution, the
+// easiest case for the deterministic strategy.
+type Constant struct {
+	// V is the fixed length.
+	V float64
+}
+
+// Sample implements Sampler.
+func (c Constant) Sample(*rng.Rand) float64 { return c.V }
+
+// Mean implements Sampler.
+func (c Constant) Mean() float64 { return c.V }
+
+// Name implements Sampler.
+func (c Constant) Name() string { return "constant" }
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// UniformMean returns the uniform distribution on [0, 2·mean), the
+// Figure 2 parameterization by mean alone.
+func UniformMean(mean float64) Uniform {
+	return Uniform{Lo: 0, Hi: 2 * mean}
+}
+
+// Sample implements Sampler.
+func (u Uniform) Sample(r *rng.Rand) float64 { return r.Range(u.Lo, u.Hi) }
+
+// Mean implements Sampler.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Name implements Sampler.
+func (u Uniform) Name() string { return "uniform" }
+
+// Exponential draws exponentially distributed lengths with mean Mu —
+// the memoryless workload, and the paper's default length model.
+type Exponential struct {
+	// Mu is the mean (1/rate).
+	Mu float64
+}
+
+// Sample implements Sampler.
+func (e Exponential) Sample(r *rng.Rand) float64 { return e.Mu * r.ExpFloat64() }
+
+// Mean implements Sampler.
+func (e Exponential) Mean() float64 { return e.Mu }
+
+// Name implements Sampler.
+func (e Exponential) Name() string { return "exponential" }
+
+// Lognormal draws exp(N(LogMu, Sigma²)): a right-skewed unimodal
+// length model with a moderate tail, common in profiled transaction
+// traces.
+type Lognormal struct {
+	// LogMu is the mean of the underlying normal.
+	LogMu float64
+	// Sigma is the standard deviation of the underlying normal.
+	Sigma float64
+}
+
+// LognormalMean returns the lognormal with the given mean and shape
+// sigma: LogMu = ln(mean) - sigma²/2.
+func LognormalMean(mean, sigma float64) Lognormal {
+	return Lognormal{LogMu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Sample implements Sampler.
+func (l Lognormal) Sample(r *rng.Rand) float64 {
+	return math.Exp(l.LogMu + l.Sigma*r.NormFloat64())
+}
+
+// Mean implements Sampler.
+func (l Lognormal) Mean() float64 { return math.Exp(l.LogMu + l.Sigma*l.Sigma/2) }
+
+// Name implements Sampler.
+func (l Lognormal) Name() string { return "lognormal" }
+
+// Bimodal mixes two constant modes: a short transaction with
+// probability PShort, a long one otherwise. It models the paper's
+// bimodal application (a fast common path plus a rare long scan).
+type Bimodal struct {
+	Short, Long float64
+	// PShort is the probability of the short mode.
+	PShort float64
+}
+
+// BimodalMean returns a bimodal with the given overall mean: the
+// short mode is mean/5, taken with probability 3/4, and the long mode
+// absorbs the rest of the mass.
+func BimodalMean(mean float64) Bimodal {
+	short := mean / 5
+	const pShort = 0.75
+	long := (mean - pShort*short) / (1 - pShort)
+	return Bimodal{Short: short, Long: long, PShort: pShort}
+}
+
+// Sample implements Sampler.
+func (b Bimodal) Sample(r *rng.Rand) float64 {
+	if r.Bool(b.PShort) {
+		return b.Short
+	}
+	return b.Long
+}
+
+// Mean implements Sampler.
+func (b Bimodal) Mean() float64 {
+	return b.PShort*b.Short + (1-b.PShort)*b.Long
+}
+
+// Name implements Sampler.
+func (b Bimodal) Name() string { return "bimodal" }
+
+// Pareto draws from the heavy-tailed Pareto distribution with scale
+// Xm and shape Alpha > 1 (so the mean exists): the adversarial end of
+// realistic length models, where rare transactions dwarf the mean.
+type Pareto struct {
+	// Xm is the scale (minimum value).
+	Xm float64
+	// Alpha is the tail index; draws have finite mean iff Alpha > 1.
+	Alpha float64
+}
+
+// ParetoMean returns the Pareto with the given mean and tail index
+// alpha: Xm = mean·(alpha-1)/alpha.
+func ParetoMean(mean, alpha float64) Pareto {
+	return Pareto{Xm: mean * (alpha - 1) / alpha, Alpha: alpha}
+}
+
+// Sample implements Sampler (inverse-CDF transform).
+func (p Pareto) Sample(r *rng.Rand) float64 {
+	return p.Xm / math.Pow(1-r.Float64(), 1/p.Alpha)
+}
+
+// Mean implements Sampler.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Name implements Sampler.
+func (p Pareto) Name() string { return "pareto" }
+
+// Zipf draws one of N ranked lengths with probability proportional to
+// 1/rank^S: length Base·rank, so a few ranks dominate the mass but
+// long transactions appear with polynomially decaying frequency. It
+// models key-popularity-skewed workloads (the classic contention
+// generator).
+type Zipf struct {
+	// N is the number of ranks (>= 1).
+	N int
+	// S is the skew exponent (>= 0; larger = more skewed).
+	S float64
+	// Base scales rank r to length Base·r.
+	Base float64
+
+	// cdf is the lazily built rank CDF; all fields above are
+	// configuration, so Zipf must be used by pointer or constructed
+	// via ZipfMean to share the table.
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler with a precomputed rank table.
+func NewZipf(n int, s, base float64) *Zipf {
+	z := &Zipf{N: n, S: s, Base: base}
+	z.build()
+	return z
+}
+
+// ZipfMean returns a Zipf sampler over n ranks with skew s, scaled so
+// that the mean length is the given mean.
+func ZipfMean(mean float64, n int, s float64) *Zipf {
+	z := NewZipf(n, s, 1)
+	z.Base = mean / z.Mean()
+	return z
+}
+
+func (z *Zipf) build() {
+	if z.N < 1 {
+		z.N = 1
+	}
+	z.cdf = make([]float64, z.N)
+	total := 0.0
+	for rank := 1; rank <= z.N; rank++ {
+		total += math.Pow(float64(rank), -z.S)
+		z.cdf[rank-1] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+}
+
+// Sample implements Sampler: binary search of the rank CDF.
+func (z *Zipf) Sample(r *rng.Rand) float64 {
+	if z.cdf == nil {
+		z.build()
+	}
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return z.Base * float64(lo+1)
+}
+
+// Mean implements Sampler.
+func (z *Zipf) Mean() float64 {
+	if z.cdf == nil {
+		z.build()
+	}
+	mean := 0.0
+	prev := 0.0
+	for rank := 1; rank <= z.N; rank++ {
+		p := z.cdf[rank-1] - prev
+		prev = z.cdf[rank-1]
+		mean += p * z.Base * float64(rank)
+	}
+	return mean
+}
+
+// Name implements Sampler.
+func (z *Zipf) Name() string { return "zipf" }
+
+// Empirical replays lengths sampled uniformly from a recorded trace:
+// the bridge from profiled production workloads to the synthetic
+// testbed.
+type Empirical struct {
+	trace []float64
+	mean  float64
+	name  string
+}
+
+// NewEmpirical returns a sampler over the given trace. It panics on
+// an empty trace. The trace is not copied; callers must not mutate it
+// afterwards.
+func NewEmpirical(name string, trace []float64) *Empirical {
+	if len(trace) == 0 {
+		panic("dist: empirical sampler needs a non-empty trace")
+	}
+	sum := 0.0
+	for _, v := range trace {
+		sum += v
+	}
+	if name == "" {
+		name = "empirical"
+	}
+	return &Empirical{trace: trace, mean: sum / float64(len(trace)), name: name}
+}
+
+// Sample implements Sampler.
+func (e *Empirical) Sample(r *rng.Rand) float64 {
+	return e.trace[r.Intn(len(e.trace))]
+}
+
+// Mean implements Sampler.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Name implements Sampler.
+func (e *Empirical) Name() string { return e.name }
+
+// Size returns the number of trace entries.
+func (e *Empirical) Size() int { return len(e.trace) }

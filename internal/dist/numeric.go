@@ -1,0 +1,107 @@
+package dist
+
+// Numeric helpers shared by the strategy family and its property
+// tests: clamping, CDF inversion by bisection, and Simpson
+// integration of densities. internal/strategy uses InvertCDF to draw
+// from the mean-constrained densities whose closed-form CDFs have no
+// closed-form inverse, and the tests use IntegratePDF/CDFFromPDF to
+// check each closed-form CDF against its integrated PDF.
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// InvertCDF solves cdf(x) = u for x in [lo, hi] by bisection, to
+// within tol (absolute width of the bracketing interval; tol <= 0
+// defaults to (hi-lo)·1e-12). cdf must be non-decreasing on [lo, hi].
+// Values of u outside [cdf(lo), cdf(hi)] clamp to the respective
+// endpoint.
+func InvertCDF(cdf func(float64) float64, u, lo, hi, tol float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = (hi - lo) * 1e-12
+	}
+	if u <= cdf(lo) {
+		return lo
+	}
+	if u >= cdf(hi) {
+		return hi
+	}
+	// Bound the iteration count: 1/2^200 underflows any tolerance,
+	// and a defensive cap keeps a buggy cdf from spinning forever.
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		if cdf(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// IntegratePDF integrates pdf over [lo, hi] with composite Simpson's
+// rule on n subintervals (n is rounded up to even, minimum 2).
+func IntegratePDF(pdf func(float64) float64, lo, hi float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (hi - lo) / float64(n)
+	sum := pdf(lo) + pdf(hi)
+	for i := 1; i < n; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * pdf(x)
+		} else {
+			sum += 2 * pdf(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// CDFFromPDF returns the numerically integrated CDF of pdf on
+// [lo, hi]: a cumulative Simpson table on n subintervals with linear
+// interpolation between grid points. Outside the support it clamps to
+// 0 and to the total mass respectively (which is ~1 for a normalized
+// density).
+func CDFFromPDF(pdf func(float64) float64, lo, hi float64, n int) func(float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	h := (hi - lo) / float64(n)
+	// cum[i] = integral of pdf over [lo, lo+i·h], each cell integrated
+	// with Simpson on (left, midpoint, right).
+	cum := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		a := lo + float64(i-1)*h
+		b := a + h
+		cum[i] = cum[i-1] + h/6*(pdf(a)+4*pdf((a+b)/2)+pdf(b))
+	}
+	return func(x float64) float64 {
+		if x <= lo {
+			return 0
+		}
+		if x >= hi {
+			return cum[n]
+		}
+		t := (x - lo) / h
+		i := int(t)
+		if i >= n {
+			i = n - 1
+		}
+		frac := t - float64(i)
+		return cum[i] + frac*(cum[i+1]-cum[i])
+	}
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"txconflict/internal/rng"
+)
+
+// Fig2Suite returns the five length distributions Figure 2 sweeps,
+// each parameterized to mean mu: constant, uniform on [0, 2µ),
+// exponential, a moderately skewed lognormal, and the bimodal
+// short/long mix. The order is the figure's row order.
+func Fig2Suite(mu float64) []Sampler {
+	return []Sampler{
+		Constant{V: mu},
+		UniformMean(mu),
+		Exponential{Mu: mu},
+		LognormalMean(mu, 0.75),
+		BimodalMean(mu),
+	}
+}
+
+// ExtendedSuite returns Fig2Suite plus the scenario-diversity
+// distributions: heavy-tailed Pareto, rank-skewed Zipf, and a
+// deterministic empirical trace. Every sampler has mean mu.
+func ExtendedSuite(mu float64) []Sampler {
+	return append(Fig2Suite(mu),
+		ParetoMean(mu, 2.5),
+		ZipfMean(mu, 64, 1.2),
+		BuiltinTrace(mu),
+	)
+}
+
+// BuiltinTrace returns the Empirical sampler over a deterministic
+// synthetic production-like trace: a lognormal body with a Pareto
+// tail, drawn from a fixed seed and rescaled to mean mu. It stands in
+// for replaying a profiled workload when no real trace is at hand.
+func BuiltinTrace(mu float64) *Empirical {
+	const n = 2048
+	r := rng.New(0xd157)
+	body := LognormalMean(1, 0.6)
+	tail := ParetoMean(4, 2.2)
+	trace := make([]float64, n)
+	sum := 0.0
+	for i := range trace {
+		v := body.Sample(r)
+		if r.Bool(0.05) {
+			v = tail.Sample(r)
+		}
+		trace[i] = v
+		sum += v
+	}
+	scale := mu * float64(n) / sum
+	for i := range trace {
+		trace[i] *= scale
+	}
+	return NewEmpirical("trace", trace)
+}
+
+// builders maps CLI names to mean-parameterized constructors.
+var builders = map[string]func(mu float64) Sampler{
+	"constant":    func(mu float64) Sampler { return Constant{V: mu} },
+	"uniform":     func(mu float64) Sampler { return UniformMean(mu) },
+	"exponential": func(mu float64) Sampler { return Exponential{Mu: mu} },
+	"lognormal":   func(mu float64) Sampler { return LognormalMean(mu, 0.75) },
+	"bimodal":     func(mu float64) Sampler { return BimodalMean(mu) },
+	"pareto":      func(mu float64) Sampler { return ParetoMean(mu, 2.5) },
+	"zipf":        func(mu float64) Sampler { return ZipfMean(mu, 64, 1.2) },
+	"trace":       func(mu float64) Sampler { return BuiltinTrace(mu) },
+}
+
+// Names returns the sorted distribution names ByName accepts.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named distribution parameterized to mean mu.
+// Names are the lower-case Name() strings of the suite samplers
+// ("constant", "uniform", "exponential", "lognormal", "bimodal",
+// "pareto", "zipf", "trace").
+func ByName(name string, mu float64) (Sampler, error) {
+	b, ok := builders[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown distribution %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b(mu), nil
+}

@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"strconv"
+	"testing"
+
+	"txconflict/internal/dist"
+)
+
+func TestExtendedSweepShape(t *testing.T) {
+	tab := ExtendedSweep(2000, 500, 2, 5000, 1)
+	if want := len(dist.ExtendedSuite(500)); len(tab.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), want)
+	}
+	if len(tab.Columns) != 7 { // distribution, OPT, 5 strategies
+		t.Fatalf("cols = %v", tab.Columns)
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("bad cell %q in %v", cell, row)
+			}
+		}
+	}
+}
+
+// TestSweepChains checks the k > 2 path: every cost stays positive
+// and the online strategies never beat the clairvoyant optimum on
+// average.
+func TestSweepChains(t *testing.T) {
+	tab := Sweep(dist.Fig2Suite(300), 1000, 4, 5000, 7)
+	for _, row := range tab.Rows {
+		opt, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || opt <= 0 {
+			t.Fatalf("bad OPT cell %q", row[1])
+		}
+		for _, cell := range row[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v < opt*0.99 {
+				t.Errorf("%s: online cost %v below OPT %v", row[0], v, opt)
+			}
+		}
+	}
+}

@@ -76,31 +76,9 @@ func RunCell(s core.Strategy, d dist.Sampler, b float64, k int, feedMean bool, t
 // µ=500): average conflict cost of each strategy across the five
 // length distributions, normalized columns plus the offline optimum.
 func Figure2(b, mu float64, trials int, seed uint64) *report.Table {
-	r := rng.New(seed)
-	strategies := strategy.Fig2Set()
-	t := &report.Table{
-		Title:   figTitle(b, mu),
-		Columns: []string{"distribution", "OPT"},
-	}
-	for _, s := range strategies {
-		t.Columns = append(t.Columns, s.Name())
-	}
-	for _, d := range dist.Fig2Suite(mu) {
-		row := []interface{}{d.Name()}
-		var optVal float64
-		cells := make([]Cell, 0, len(strategies))
-		for _, s := range strategies {
-			feedMean := usesMean(s)
-			c := RunCell(s, d, b, 2, feedMean, trials, r)
-			cells = append(cells, c)
-			optVal = c.OptCost
-		}
-		row = append(row, optVal)
-		for _, c := range cells {
-			row = append(row, c.MeanCost)
-		}
-		t.AddRow(row...)
-	}
+	t := Sweep(dist.Fig2Suite(mu), b, 2, trials, seed)
+	t.Title = figTitle(b, mu)
+	t.Notes = nil
 	t.AddNote("B=%g, µ=%g, %d trials per cell; cost model of Section 4 with k=2", b, mu, trials)
 	return t
 }

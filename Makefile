@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short bench tidy
+.PHONY: all build vet test race-short bench bench-stm tidy
 
 all: build vet test
 
@@ -24,6 +24,12 @@ race-short:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable STM perf trajectory: commits/sec and aborts on the
+# write-heavy transactional application at 1/4/8 goroutines. CI runs
+# this as a non-blocking step so the perf history starts recording.
+bench-stm:
+	$(GO) run ./cmd/stmbench -perf -out BENCH_stm.json
 
 tidy:
 	$(GO) mod tidy

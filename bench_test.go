@@ -19,6 +19,7 @@ import (
 	"txconflict/internal/report"
 	"txconflict/internal/rng"
 	"txconflict/internal/stats"
+	"txconflict/internal/stm"
 	"txconflict/internal/strategy"
 	"txconflict/internal/synth"
 )
@@ -162,6 +163,49 @@ func BenchmarkCompetitiveRatios(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := synth.RatioValidation(1000, 10000, 1)
 		printOnce(b, "ratios", t)
+	}
+}
+
+// BenchmarkSTMArenaSharding — E14: flat single-clock arena vs
+// striped per-shard clocks under disjoint writers (pure commit-clock
+// and metadata traffic, no transactional conflicts). Run with
+// -cpu 8 (or higher) to see the striped clocks pull ahead. Same
+// workload shape as internal/stm's benchDisjointWriters — keep them
+// in sync.
+func BenchmarkSTMArenaSharding(b *testing.B) {
+	const words = 1024
+	for _, v := range []struct {
+		name   string
+		shards int
+	}{
+		{"flat", 1},
+		{"sharded", 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := stm.DefaultConfig()
+			cfg.Strategy = nil
+			cfg.Shards = v.shards
+			rt := stm.New(words, cfg)
+			var gid int32
+			var mu sync.Mutex
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				g := gid
+				gid++
+				mu.Unlock()
+				r := rng.New(uint64(g) + 1)
+				base := (int(g) * 16) % words
+				i := 0
+				for pb.Next() {
+					idx := base + (i & 15)
+					i++
+					_ = rt.Atomic(r, func(tx *stm.Tx) error {
+						tx.Store(idx, tx.Load(idx)+1)
+						return nil
+					})
+				}
+			})
+		})
 	}
 }
 

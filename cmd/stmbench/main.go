@@ -7,9 +7,13 @@
 //	stmbench -bench all
 //	stmbench -bench stack -goroutines 1,2,4,8
 //	stmbench -bench txapp -policy ra -lazy
+//	stmbench -bench txapp -shards 1          # flat single-clock arena
+//	stmbench -ablate -bench txapp            # runtime design ablations
+//	stmbench -perf -out BENCH_stm.json       # CI perf snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +23,7 @@ import (
 
 	"txconflict/internal/core"
 	"txconflict/internal/experiments"
+	"txconflict/internal/report"
 )
 
 func main() {
@@ -28,8 +33,12 @@ func main() {
 		dur    = flag.Duration("duration", 300*time.Millisecond, "measurement duration per cell")
 		policy = flag.String("policy", "rw", "conflict policy: rw or ra")
 		lazy   = flag.Bool("lazy", false, "use lazy (commit-time) locking instead of eager")
+		shards = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		csv    = flag.Bool("csv", false, "emit CSV instead of text")
+		ablate = flag.Bool("ablate", false, "run the STM design ablations instead of the strategy sweep (baseline pinned: -policy/-lazy/-shards ignored)")
+		perf   = flag.Bool("perf", false, "emit the JSON perf snapshot (commits/sec and aborts at 1/4/8 procs)")
+		out    = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
 	)
 	flag.Parse()
 
@@ -37,6 +46,7 @@ func main() {
 	cfg.Duration = *dur
 	cfg.Seed = *seed
 	cfg.Lazy = *lazy
+	cfg.Shards = *shards
 	if strings.EqualFold(*policy, "ra") {
 		cfg.Policy = core.RequestorAborts
 	}
@@ -53,12 +63,25 @@ func main() {
 		cfg.Goroutines = gs
 	}
 
+	if *perf {
+		runPerf(*bench, cfg, *levels != "", *out)
+		return
+	}
+
 	benches := []string{*bench}
 	if *bench == "all" {
 		benches = []string{"stack", "queue", "txapp", "bimodal"}
 	}
 	for _, b := range benches {
-		tab, err := experiments.STMThroughput(b, cfg)
+		var (
+			tab *report.Table
+			err error
+		)
+		if *ablate {
+			tab, err = experiments.STMAblations(b, maxLevel(cfg.Goroutines), cfg)
+		} else {
+			tab, err = experiments.STMThroughput(b, cfg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stmbench:", err)
 			os.Exit(1)
@@ -73,4 +96,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func maxLevel(levels []int) int {
+	m := 0
+	for _, n := range levels {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// runPerf emits the machine-readable perf snapshot for CI
+// (make bench-stm). Unless -goroutines was given explicitly it pins
+// the 1/4/8 ladder so trajectories stay comparable across machines.
+func runPerf(bench string, cfg experiments.STMConfig, explicitLevels bool, out string) {
+	if bench == "all" {
+		bench = "txapp" // the write-heavy 2-of-64-objects application
+	}
+	if !explicitLevels {
+		cfg.Goroutines = []int{1, 4, 8}
+	}
+	rep, err := experiments.STMPerf(bench, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s, shards=%d)\n", out, rep.Bench, rep.Shards)
 }

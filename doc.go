@@ -12,7 +12,10 @@
 // cycle-level HTM multicore simulator with directory MSI coherence
 // (internal/htm and friends) standing in for the paper's Graphite
 // setup, a hand-rolled software transactional runtime for
-// real-goroutine experiments (internal/stm), and harnesses
+// real-goroutine experiments (internal/stm: a sharded lock arena
+// with cache-line-padded word metadata, striped per-shard commit
+// clocks with TL2-style snapshot extension, and an attempt-epoch
+// kill protocol), and harnesses
 // regenerating every figure of the paper's evaluation
 // (internal/synth, internal/adversary, internal/experiments; see
 // bench_test.go, cmd/ and EXPERIMENTS.md).

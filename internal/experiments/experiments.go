@@ -141,6 +141,9 @@ type STMConfig struct {
 	// Policy and Lazy select the runtime mode.
 	Policy core.Policy
 	Lazy   bool
+	// Shards is the stm arena stripe count (0 = runtime default,
+	// 1 = flat single-clock arena).
+	Shards int
 	// Seed feeds the per-goroutine streams.
 	Seed uint64
 }
@@ -208,8 +211,8 @@ func stmStrategies(tunedNs float64) []core.Strategy {
 
 // tuneSTM measures the mean uncontended op latency (ns) for the
 // DELAY_TUNED baseline.
-func tuneSTM(bench string, pol core.Policy, lazy bool, seed uint64) (float64, error) {
-	cfg := stm.Config{Policy: pol, Lazy: lazy, CleanupCost: 2 * time.Microsecond, MaxRetries: 64}
+func tuneSTM(bench string, pol core.Policy, lazy bool, shards int, seed uint64) (float64, error) {
+	cfg := stm.Config{Policy: pol, Lazy: lazy, Shards: shards, CleanupCost: 2 * time.Microsecond, MaxRetries: 64}
 	b, err := stmBench(bench, cfg)
 	if err != nil {
 		return 0, err
@@ -230,7 +233,7 @@ func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
 	if len(cfg.Goroutines) == 0 {
 		cfg = DefaultSTMConfig()
 	}
-	tuned, err := tuneSTM(bench, cfg.Policy, cfg.Lazy, cfg.Seed)
+	tuned, err := tuneSTM(bench, cfg.Policy, cfg.Lazy, cfg.Shards, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -245,6 +248,7 @@ func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
 				Policy:      cfg.Policy,
 				Strategy:    s,
 				Lazy:        cfg.Lazy,
+				Shards:      cfg.Shards,
 				CleanupCost: 2 * time.Microsecond,
 				MaxRetries:  256,
 			}
@@ -260,9 +264,11 @@ func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
 	return t, nil
 }
 
-// runSTMCell measures ops/s with n goroutines hammering the
-// structure for the duration.
-func runSTMCell(b stmOp, n int, d time.Duration, seed uint64) float64 {
+// driveSTM hammers the structure with n goroutines for roughly d,
+// returning the completed op count and the elapsed seconds. The
+// shared driver under both the throughput sweep (ops/s) and the
+// ablation/perf harnesses (commits/s from the runtime counters).
+func driveSTM(b stmOp, n int, d time.Duration, seed uint64) (ops uint64, elapsedSec float64) {
 	root := rng.New(seed)
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -288,10 +294,16 @@ func runSTMCell(b stmOp, n int, d time.Duration, seed uint64) float64 {
 	time.Sleep(d)
 	close(stop)
 	wg.Wait()
-	elapsed := time.Since(start).Seconds()
-	var total uint64
+	elapsedSec = time.Since(start).Seconds()
 	for _, c := range counts {
-		total += c
+		ops += c
 	}
-	return float64(total) / elapsed
+	return ops, elapsedSec
+}
+
+// runSTMCell measures ops/s with n goroutines hammering the
+// structure for the duration.
+func runSTMCell(b stmOp, n int, d time.Duration, seed uint64) float64 {
+	ops, elapsed := driveSTM(b, n, d, seed)
+	return float64(ops) / elapsed
 }

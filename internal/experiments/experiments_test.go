@@ -83,6 +83,74 @@ func TestSTMThroughputSmoke(t *testing.T) {
 	}
 }
 
+func TestSTMThroughputFlatArena(t *testing.T) {
+	cfg := STMConfig{
+		Goroutines: []int{2},
+		Duration:   20 * time.Millisecond,
+		Policy:     core.RequestorWins,
+		Shards:     1,
+		Seed:       1,
+	}
+	tab, err := STMThroughput("txapp", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestSTMAblations(t *testing.T) {
+	cfg := STMConfig{
+		Duration: 15 * time.Millisecond,
+		Policy:   core.RequestorWins,
+		Seed:     1,
+	}
+	tab, err := STMAblations("txapp", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("ablation rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("ablation %q commits/s cell %q invalid", row[0], row[1])
+		}
+	}
+	if _, err := STMAblations("nope", 2, cfg); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+}
+
+func TestSTMPerf(t *testing.T) {
+	cfg := STMConfig{
+		Goroutines: []int{1, 2},
+		Duration:   15 * time.Millisecond,
+		Policy:     core.RequestorWins,
+		Seed:       1,
+	}
+	rep, err := STMPerf("txapp", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	if rep.Shards < 1 {
+		t.Fatalf("shards = %d", rep.Shards)
+	}
+	for _, p := range rep.Points {
+		if p.CommitsPerSec <= 0 {
+			t.Fatalf("non-positive commits/sec at %d goroutines", p.Goroutines)
+		}
+	}
+	if _, err := STMPerf("nope", cfg); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+}
+
 func TestSTMUnknownBench(t *testing.T) {
 	if _, err := STMThroughput("nope", STMConfig{Goroutines: []int{1}, Duration: time.Millisecond}); err == nil {
 		t.Fatal("unknown STM bench accepted")

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/report"
+	"txconflict/internal/stm"
+	"txconflict/internal/strategy"
+)
+
+// stmMeasurement is one measured cell on the real-goroutine runtime:
+// throughput in committed transactions per second plus the runtime's
+// own counters.
+type stmMeasurement struct {
+	CommitsPerSec   float64
+	AbortsPerCommit float64
+	Stats           map[string]uint64
+}
+
+// measureSTM runs n goroutines against b for roughly d (via the
+// shared driveSTM harness) and reads the runtime counters afterwards.
+func measureSTM(b stmOp, n int, d time.Duration, seed uint64) stmMeasurement {
+	_, elapsed := driveSTM(b, n, d, seed)
+	snap := b.rt.Stats.Snapshot()
+	commits := snap["commits"]
+	m := stmMeasurement{Stats: snap}
+	if elapsed > 0 {
+		m.CommitsPerSec = float64(commits) / elapsed
+	}
+	if commits > 0 {
+		m.AbortsPerCommit = float64(snap["aborts"]) / float64(commits)
+	}
+	return m
+}
+
+// STMAblations runs the runtime-level design ablations on one
+// benchmark at one goroutine count on the real STM: arena sharding
+// (striped clocks vs the flat single-clock layout), locking mode,
+// policy, the Section 9 hybrid switch, Corollary 2 backoff, and the
+// NO_DELAY baseline. The base configuration is pinned (eager
+// requestor-wins, RRW, default shards) so every row varies exactly
+// one design choice against the same baseline; cfg supplies only
+// Duration and Seed.
+func STMAblations(bench string, goroutines int, cfg STMConfig) (*report.Table, error) {
+	if goroutines <= 0 {
+		goroutines = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	type variant struct {
+		name   string
+		adjust func(c *stm.Config)
+	}
+	variants := []variant{
+		{"baseline RW + RRW (striped clocks)", func(c *stm.Config) {}},
+		{"flat arena (1 shard)", func(c *stm.Config) { c.Shards = 1 }},
+		{"lazy (TL2 commit locking)", func(c *stm.Config) { c.Lazy = true }},
+		{"policy RA + RRA", func(c *stm.Config) {
+			c.Policy = core.RequestorAborts
+			c.Strategy = strategy.ExpRA{}
+		}},
+		{"hybrid policy (Sec 9)", func(c *stm.Config) {
+			c.HybridPolicy = true
+			c.Strategy = strategy.Hybrid{}
+		}},
+		{"Cor2 backoff x2", func(c *stm.Config) { c.BackoffFactor = 2 }},
+		{"NO_DELAY", func(c *stm.Config) { c.Strategy = nil }},
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("STM ablations (%s, %d goroutines)", bench, goroutines),
+		Columns: []string{"variant", "commits/s", "aborts/commit", "kills", "extensions"},
+	}
+	for _, v := range variants {
+		sCfg := stm.Config{
+			Policy:        core.RequestorWins,
+			Strategy:      strategy.UniformRW{},
+			CleanupCost:   2 * time.Microsecond,
+			BackoffFactor: 1,
+			MaxRetries:    256,
+		}
+		v.adjust(&sCfg)
+		b, err := stmBench(bench, sCfg)
+		if err != nil {
+			return nil, err
+		}
+		m := measureSTM(b, goroutines, cfg.Duration, cfg.Seed)
+		t.AddRow(v.name, m.CommitsPerSec, m.AbortsPerCommit, m.Stats["kills"], m.Stats["extensions"])
+	}
+	return t, nil
+}
+
+// STMPerfPoint is one goroutine level of the perf snapshot.
+type STMPerfPoint struct {
+	Goroutines      int     `json:"goroutines"`
+	CommitsPerSec   float64 `json:"commitsPerSec"`
+	Aborts          uint64  `json:"aborts"`
+	AbortsPerCommit float64 `json:"abortsPerCommit"`
+	Kills           uint64  `json:"kills"`
+}
+
+// STMPerfReport is the machine-readable perf trajectory snapshot
+// emitted by `make bench-stm` into BENCH_stm.json.
+type STMPerfReport struct {
+	Bench      string         `json:"bench"`
+	Policy     string         `json:"policy"`
+	Lazy       bool           `json:"lazy"`
+	Shards     int            `json:"shards"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	DurationMS int64          `json:"durationMs"`
+	Points     []STMPerfPoint `json:"points"`
+}
+
+// STMPerf measures commits/sec and abort counts on the write-heavy
+// benchmark at the configured goroutine levels (default 1/4/8), the
+// recorded perf trajectory for CI.
+func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
+	levels := cfg.Goroutines
+	if len(levels) == 0 {
+		levels = []int{1, 4, 8}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	rep := &STMPerfReport{
+		Bench:      bench,
+		Policy:     cfg.Policy.String(),
+		Lazy:       cfg.Lazy,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DurationMS: cfg.Duration.Milliseconds(),
+	}
+	for _, n := range levels {
+		sCfg := stm.Config{
+			Policy:        cfg.Policy,
+			Strategy:      strategy.UniformRW{},
+			Lazy:          cfg.Lazy,
+			Shards:        cfg.Shards,
+			CleanupCost:   2 * time.Microsecond,
+			BackoffFactor: 1,
+			MaxRetries:    256,
+		}
+		b, err := stmBench(bench, sCfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Shards = b.rt.Shards()
+		m := measureSTM(b, n, cfg.Duration, cfg.Seed)
+		rep.Points = append(rep.Points, STMPerfPoint{
+			Goroutines:      n,
+			CommitsPerSec:   m.CommitsPerSec,
+			Aborts:          m.Stats["aborts"],
+			AbortsPerCommit: m.AbortsPerCommit,
+			Kills:           m.Stats["kills"],
+		})
+	}
+	return rep, nil
+}

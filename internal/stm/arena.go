@@ -1,0 +1,300 @@
+// Package stm is a hand-rolled software transactional memory with
+// versioned locks, extended with the paper's grace-period conflict
+// resolution. Go has no hardware TM, so this runtime is the
+// real-concurrency counterpart of the internal/htm simulator: the
+// same core.Strategy implementations plug into real goroutines.
+//
+// # Arena layout
+//
+// Words live in a flat data array, but their transactional metadata —
+// the versioned lock (version<<1 | lockedBit) and the owner slot — is
+// packed per word into a cache-line-padded record, so that
+// neighbouring words never false-share a metadata line. The global
+// commit clock of classic TL2 is replaced by striped per-shard
+// clocks: word idx belongs to stripe idx&(shards-1), and a committing
+// writer advances only the clocks of the stripes it wrote. At high
+// core counts this removes the single contended CAS line that
+// otherwise serializes every commit.
+//
+// Striped clocks need a striped notion of snapshot. A transaction
+// holds one read version per stripe, taken lazily: the first time a
+// read (or write-lock acquisition) in stripe s observes a word
+// version newer than the stripe snapshot, the transaction *extends* —
+// it reads the latest stripe clock, revalidates its entire read set,
+// and on success adopts the newer snapshot (TL2/TinySTM-style
+// extension). Extension failure aborts, so opacity is preserved:
+// no transaction, even a doomed one, observes a torn snapshot.
+//
+// # Locking modes
+//
+//   - Eager (encounter-time, default): writers acquire the word lock
+//     at the first Store and write in place with an undo log —
+//     the faithful analogue of the paper's HTM (Algorithm 1), where
+//     a transaction owns its write set for its whole duration and
+//     conflicts find the receiver mid-execution.
+//   - Lazy (commit-time, TL2-style): writes are buffered and locks
+//     are taken in address order only inside commit. Lock hold times
+//     are short, so grace periods matter less — this mode doubles as
+//     the "lazy versioning" ablation.
+//
+// # Conflicts and the epoch scheme
+//
+// A conflict arises when a transaction (the requestor) encounters a
+// word locked by another transaction (the receiver — it owns the
+// data item, exactly the paper's receiver role). The requestor
+// evaluates the configured core.Strategy to obtain the grace period
+// (using the doomed side's elapsed time as the abort cost B, paper
+// footnote 1), then waits:
+//
+//   - requestor wins: at the deadline the requestor kills the
+//     receiver (a status CAS the receiver observes at its next
+//     instrumentation point) and waits for the locks to drop;
+//   - requestor aborts: at the deadline the requestor aborts itself.
+//
+// Descriptors are reused across retries of the same atomic block, so
+// "the receiver" must mean one *attempt*, not one descriptor. Each
+// descriptor therefore packs an attempt epoch and a status into a
+// single atomic state word (epoch<<2 | status); every retry bumps
+// the epoch. A requestor captures the receiver's (epoch, status) when
+// its wait begins, kills with a CAS against exactly that state, and
+// treats any epoch change as "the lock moved on". A stale requestor
+// can thus never kill a later attempt, and never mistakes a later
+// attempt of the same descriptor for the one it started waiting on.
+//
+// A receiver that reaches its commit write-back phase can no longer
+// be killed (commit is locally atomic, as in the HTM model).
+// Transactions that exhaust MaxRetries fall back to an irrevocable
+// slow path (serialized by a token), the STM analogue of the paper's
+// lock-free fallback paths.
+package stm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/strategy"
+)
+
+const cacheLine = 64
+
+// wordMeta is the per-word transactional metadata, padded so two
+// words never share a cache line: the versioned lock
+// (version<<1 | lockedBit, version drawn from the word's stripe
+// clock) and the owner descriptor slot.
+type wordMeta struct {
+	lock  atomic.Uint64
+	owner atomic.Pointer[Tx]
+	_     [cacheLine - 16]byte
+}
+
+// stripe is one clock shard, padded onto its own line so commits in
+// different stripes never contend on clock cache lines.
+type stripe struct {
+	clock atomic.Uint64
+	_     [cacheLine - 8]byte
+}
+
+// Config tunes the runtime's conflict resolution.
+type Config struct {
+	// Policy selects requestor-wins or requestor-aborts resolution.
+	Policy core.Policy
+	// HybridPolicy overrides Policy per conflict with the paper's
+	// Section 9 rule: requestor-aborts for pair conflicts (k = 2),
+	// requestor-wins for longer chains. Pairs naturally with
+	// strategy.Hybrid, which dispatches the matching optimal
+	// strategy.
+	HybridPolicy bool
+	// Strategy picks grace periods; nil means no grace (immediate
+	// resolution, the NO_DELAY baseline).
+	Strategy core.Strategy
+	// Lazy switches to commit-time locking (TL2); the default is
+	// eager encounter-time locking, matching the paper's HTM.
+	Lazy bool
+	// Shards is the number of clock stripes. 0 picks a default sized
+	// to GOMAXPROCS; 1 degenerates to the flat single-clock arena
+	// (the pre-sharding layout, kept as the ablation baseline).
+	// Other values are rounded up to a power of two.
+	Shards int
+	// UseMeanProfile feeds the profiled mean committed-transaction
+	// duration to the strategy.
+	UseMeanProfile bool
+	// CleanupCost is the fixed component of the abort cost B in
+	// nanoseconds; the elapsed execution time is added per the
+	// paper's footnote 1.
+	CleanupCost time.Duration
+	// BackoffFactor multiplies B per abort of the same transaction
+	// (Corollary 2); <= 1 disables.
+	BackoffFactor float64
+	// MaxRetries bounds optimistic retries before the transaction
+	// falls back to the irrevocable slow path; 0 means never.
+	MaxRetries int
+}
+
+// DefaultConfig returns an eager requestor-wins configuration with
+// the 2-competitive uniform strategy.
+func DefaultConfig() Config {
+	return Config{
+		Policy:        core.RequestorWins,
+		Strategy:      strategy.UniformRW{},
+		CleanupCost:   2 * time.Microsecond,
+		BackoffFactor: 1,
+		MaxRetries:    64,
+	}
+}
+
+// String renders the config for reports.
+func (c Config) String() string {
+	name := "NO_DELAY"
+	if c.Strategy != nil {
+		name = c.Strategy.Name()
+	}
+	mode := "eager"
+	if c.Lazy {
+		mode = "lazy"
+	}
+	if c.Shards == 1 {
+		mode += "/flat"
+	}
+	return fmt.Sprintf("%v/%s/%s", c.Policy, name, mode)
+}
+
+// Stats aggregates runtime counters (all updated atomically).
+type Stats struct {
+	Commits     atomic.Uint64
+	Aborts      atomic.Uint64
+	Kills       atomic.Uint64 // receiver aborts forced by requestors
+	SelfAborts  atomic.Uint64 // requestor-side and validation aborts
+	GraceWaits  atomic.Uint64 // conflicts that entered a grace wait
+	Irrevocable atomic.Uint64 // slow-path executions
+	Extensions  atomic.Uint64 // successful stripe-snapshot extensions
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"commits":     s.Commits.Load(),
+		"aborts":      s.Aborts.Load(),
+		"kills":       s.Kills.Load(),
+		"selfAborts":  s.SelfAborts.Load(),
+		"graceWaits":  s.GraceWaits.Load(),
+		"irrevocable": s.Irrevocable.Load(),
+		"extensions":  s.Extensions.Load(),
+	}
+}
+
+// Runtime is a transactional memory arena plus its conflict policy.
+type Runtime struct {
+	cfg        Config
+	stripeMask int
+	stripes    []stripe
+	meta       []wordMeta
+	words      []atomic.Uint64
+
+	fallback sync.Mutex // serializes irrevocable transactions
+	txPool   sync.Pool  // reusable Tx descriptors (see Atomic)
+
+	profBits atomic.Uint64 // float64 bits of the EWMA duration (ns)
+
+	Stats Stats
+}
+
+// New creates a runtime with n words, all zero.
+func New(n int, cfg Config) *Runtime {
+	if n <= 0 {
+		panic("stm: non-positive arena size")
+	}
+	if cfg.BackoffFactor == 0 {
+		cfg.BackoffFactor = 1
+	}
+	sh := cfg.Shards
+	if sh <= 0 {
+		sh = defaultShards()
+	}
+	sh = ceilPow2(sh)
+	cfg.Shards = sh // Config() reports the effective stripe count
+	return &Runtime{
+		cfg:        cfg,
+		stripeMask: sh - 1,
+		stripes:    make([]stripe, sh),
+		meta:       make([]wordMeta, n),
+		words:      make([]atomic.Uint64, n),
+	}
+}
+
+// defaultShards sizes the stripe count to the machine: enough stripes
+// that concurrent committers rarely collide on a clock line, capped
+// so per-transaction snapshot state stays small.
+func defaultShards() int {
+	s := 4 * runtime.GOMAXPROCS(0)
+	if s > 64 {
+		s = 64
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ceilPow2 rounds n up to the next power of two (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// stripeOf maps a word index to its clock stripe. Adjacent words land
+// in different stripes, spreading hot neighbourhoods across clocks.
+func (rt *Runtime) stripeOf(idx int) int { return idx & rt.stripeMask }
+
+// Size returns the arena size in words.
+func (rt *Runtime) Size() int { return len(rt.words) }
+
+// Shards returns the number of clock stripes (a power of two).
+func (rt *Runtime) Shards() int { return len(rt.stripes) }
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// ReadCommitted reads a word outside any transaction, spinning past
+// transient locks. Intended for post-run verification.
+func (rt *Runtime) ReadCommitted(idx int) uint64 {
+	m := &rt.meta[idx]
+	for {
+		l := m.lock.Load()
+		if l&1 == 0 {
+			v := rt.words[idx].Load()
+			if m.lock.Load() == l {
+				return v
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// profileMean returns the EWMA of committed transaction durations in
+// nanoseconds (0 = no data yet).
+func (rt *Runtime) profileMean() float64 {
+	return math.Float64frombits(rt.profBits.Load())
+}
+
+func (rt *Runtime) profileUpdate(ns float64) {
+	const alpha = 0.05
+	for {
+		old := rt.profBits.Load()
+		cur := math.Float64frombits(old)
+		next := ns
+		if cur != 0 {
+			next = cur + alpha*(ns-cur)
+		}
+		if rt.profBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package stm
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/strategy"
+)
+
+// chainK registers tx as a waiter on owner and returns the conflict
+// chain-length estimate k. The estimate uses the post-Add waiter
+// count, so simultaneous arrivals see distinct k values (2, 3, ...)
+// instead of all computing k=2 — the Section 9 hybrid policy switch
+// depends on this. Callers must pair with leaveChain.
+func (owner *Tx) chainK() int {
+	return 1 + int(owner.waiters.Add(1))
+}
+
+func (owner *Tx) leaveChain() {
+	owner.waiters.Add(-1)
+}
+
+// onLocked is the conflict decision point: word idx is locked by
+// another transaction. It returns once the lock has been observed to
+// move on (so the caller may retry), and aborts the appropriate side
+// per policy when the grace period expires.
+//
+// The receiver's identity is one *attempt*, captured as its full
+// (epoch, status) state at wait start: the kill is a CAS against
+// exactly that state, and any epoch change means the attempt we were
+// waiting on is gone — a reused descriptor re-acquiring the same word
+// can neither be killed by us nor absorb the rest of our grace
+// period.
+func (tx *Tx) onLocked(idx int) {
+	rt := tx.rt
+	m := &rt.meta[idx]
+	owner := m.owner.Load()
+	if owner == nil || owner == tx {
+		runtime.Gosched()
+		return
+	}
+	st0 := owner.state.Load()
+	if st0&stateStatusMask != statusActive {
+		// The owning attempt is already dying or committing; its
+		// locks drop shortly, so just let the caller retry.
+		runtime.Gosched()
+		return
+	}
+	rt.Stats.GraceWaits.Add(1)
+	k := owner.chainK()
+	defer owner.leaveChain()
+
+	// gone reports that the attempt we are waiting on released the
+	// lock, lost it, or ended (epoch moved past st0's).
+	gone := func() bool {
+		return m.lock.Load()&1 == 0 ||
+			m.owner.Load() != owner ||
+			owner.state.Load()>>stateEpochShift != st0>>stateEpochShift
+	}
+
+	pol := rt.policyFor(k)
+	grace := tx.graceFor(owner, k, pol)
+	deadline := time.Now().Add(grace)
+	for {
+		if gone() {
+			return
+		}
+		if tx.killed() {
+			tx.abort("killed-while-waiting")
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		runtime.Gosched()
+	}
+	// Grace expired: resolve the conflict.
+	if owner.irrevocable.Load() {
+		// The receiver cannot be killed; yield to it.
+		rt.Stats.SelfAborts.Add(1)
+		tx.abort("yield-to-irrevocable")
+	}
+	if pol == core.RequestorWins || tx.irrevocable.Load() {
+		if owner.state.CompareAndSwap(st0, st0&^stateStatusMask|statusKilled) {
+			rt.Stats.Kills.Add(1)
+		}
+		// Killed, or already past no-return: either way the locks
+		// drop shortly. We may have been killed too (mutual kill on
+		// crossed lock orders) — obey it, or the two of us wait on
+		// each other forever.
+		for !gone() {
+			if tx.killed() {
+				tx.abort("killed-while-waiting")
+			}
+			runtime.Gosched()
+		}
+		return
+	}
+	// Requestor aborts.
+	rt.Stats.SelfAborts.Add(1)
+	tx.abort("requestor-aborts")
+}
+
+// policyFor returns the per-conflict resolution policy (Section 9
+// hybrid rule when enabled).
+func (rt *Runtime) policyFor(k int) core.Policy {
+	if !rt.cfg.HybridPolicy {
+		return rt.cfg.Policy
+	}
+	if k <= 2 {
+		return core.RequestorAborts
+	}
+	return core.RequestorWins
+}
+
+// graceFor evaluates the strategy for a conflict with the given
+// receiver, chain length estimate and per-conflict policy.
+func (tx *Tx) graceFor(owner *Tx, k int, pol core.Policy) time.Duration {
+	s := tx.rt.cfg.Strategy
+	if s == nil {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	var b float64
+	var attempts int
+	if pol == core.RequestorWins {
+		b = float64(now-owner.startNanos.Load()) + float64(tx.rt.cfg.CleanupCost.Nanoseconds())
+		attempts = int(owner.attempts.Load())
+	} else {
+		b = float64(now-tx.startNanos.Load()) + float64(tx.rt.cfg.CleanupCost.Nanoseconds())
+		attempts = int(tx.attempts.Load())
+	}
+	if b <= 0 {
+		b = 1
+	}
+	if f := tx.rt.cfg.BackoffFactor; f > 1 {
+		b = strategy.BackoffB(b, attempts, f, math.Inf(1))
+	}
+	conf := core.Conflict{Policy: pol, K: k, B: b}
+	if tx.rt.cfg.UseMeanProfile {
+		conf.Mean = tx.rt.profileMean()
+	}
+	x := s.Delay(conf, tx.rng)
+	if x < 0 || math.IsNaN(x) {
+		x = 0
+	}
+	return time.Duration(x)
+}

@@ -1,0 +1,202 @@
+package stm
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+)
+
+// unclampedGrace is a test strategy returning a fixed grace period
+// verbatim. The production strategies (e.g. strategy.Fixed) clamp to
+// core.MaxUsefulDelay = B, which for a just-started receiver is
+// microseconds — far too short to stage an ordered conflict around.
+type unclampedGrace float64
+
+func (g unclampedGrace) Name() string                               { return "unclampedGrace" }
+func (g unclampedGrace) Delay(_ core.Conflict, _ *rng.Rand) float64 { return float64(g) }
+
+// TestEpochKillSkipsLaterAttempt stages the descriptor-reuse ABA:
+// a requestor parks in onLocked against attempt 1 of a receiver; the
+// receiver then aborts and attempt 2 of the *same descriptor*
+// re-acquires the same word. The requestor's captured epoch must make
+// it treat the lock as "moved on" — never carrying its stale deadline
+// over to attempt 2, and never killing it (the old pointer-identity
+// protocol did both).
+func TestEpochKillSkipsLaterAttempt(t *testing.T) {
+	cfg := DefaultConfig()
+	// A genuinely long grace so no deadline can legitimately expire
+	// during the staging windows (the orchestration below is
+	// event-driven, so the test never actually waits this long).
+	cfg.Strategy = unclampedGrace(10 * time.Second / time.Nanosecond)
+	cfg.MaxRetries = 0
+	rt := New(2, cfg)
+	root := rng.New(11)
+	recvR, reqR := root.Split(), root.Split()
+
+	held1 := make(chan struct{})
+	abort1 := make(chan struct{})
+	held2 := make(chan struct{}, 4)
+	done2 := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // receiver
+		defer wg.Done()
+		_ = rt.Atomic(recvR, func(tx *Tx) error {
+			tx.Store(0, 7)
+			if tx.Attempts() == 0 {
+				close(held1)
+				<-abort1
+				panic(txAbort{reason: "staged-retry"})
+			}
+			select {
+			case held2 <- struct{}{}:
+			default:
+			}
+			<-done2
+			return nil
+		})
+	}()
+	<-held1
+
+	wg.Add(1)
+	go func() { // requestor
+		defer wg.Done()
+		_ = rt.Atomic(reqR, func(tx *Tx) error {
+			tx.Store(0, tx.Load(0)+100)
+			return nil
+		})
+	}()
+
+	waitFor := func(cond func() bool, what string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened (stats %v)", what, rt.Stats.Snapshot())
+			}
+			runtime.Gosched()
+		}
+	}
+	// Park the requestor against attempt 1, then retire attempt 1.
+	waitFor(func() bool { return rt.Stats.GraceWaits.Load() >= 1 }, "requestor grace wait")
+	close(abort1)
+	<-held2
+	// The fixed protocol starts a *fresh* grace wait against attempt
+	// 2 (or the requestor slipped in and committed during the
+	// inter-attempt window); the broken one fires the stale deadline
+	// and kills attempt 2.
+	waitFor(func() bool {
+		return rt.Stats.GraceWaits.Load() >= 2 ||
+			rt.Stats.Commits.Load() >= 1 || // requestor won the window
+			rt.Stats.Kills.Load() >= 1
+	}, "requestor re-resolution")
+	close(done2)
+	wg.Wait()
+
+	if kills := rt.Stats.Kills.Load(); kills != 0 {
+		t.Fatalf("stale requestor killed a later attempt (%d kills, stats %v)", kills, rt.Stats.Snapshot())
+	}
+	if commits := rt.Stats.Commits.Load(); commits != 2 {
+		t.Fatalf("commits = %d, want 2 (stats %v)", commits, rt.Stats.Snapshot())
+	}
+}
+
+// TestForeignPanicReleasesEncounterLocks: a panic out of user code
+// (not the internal txAbort) must roll back in-place writes and drop
+// encounter locks before unwinding — otherwise the word stays locked
+// forever and every later transaction wedges on it.
+func TestForeignPanicReleasesEncounterLocks(t *testing.T) {
+	rt := New(4, DefaultConfig())
+	r := rng.New(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("user panic was swallowed")
+			}
+		}()
+		_ = rt.Atomic(r, func(tx *Tx) error {
+			tx.Store(0, 9)
+			panic("user bug")
+		})
+	}()
+	if rt.meta[0].lock.Load()&1 != 0 {
+		t.Fatal("panic leaked the encounter lock")
+	}
+	if got := rt.ReadCommitted(0); got != 0 {
+		t.Fatalf("panic leaked a dirty write: %d", got)
+	}
+	if err := rt.Atomic(r, func(tx *Tx) error { tx.Store(0, 1); return nil }); err != nil {
+		t.Fatalf("runtime unusable after panic: %v", err)
+	}
+	if got := rt.ReadCommitted(0); got != 1 {
+		t.Fatalf("post-panic commit lost: %d", got)
+	}
+}
+
+// TestForeignPanicReleasesIrrevocableToken: the same unwind from an
+// irrevocable transaction must release the fallback token, or every
+// future slow-path transaction deadlocks.
+func TestForeignPanicReleasesIrrevocableToken(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 1 // first abort escalates to the slow path
+	rt := New(2, cfg)
+	r := rng.New(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("user panic was swallowed")
+			}
+		}()
+		_ = rt.Atomic(r, func(tx *Tx) error {
+			if tx.Attempts() == 0 {
+				panic(txAbort{reason: "staged-retry"}) // force escalation
+			}
+			panic("user bug on the irrevocable path")
+		})
+	}()
+	if rt.Stats.Irrevocable.Load() == 0 {
+		t.Fatal("staging failed: transaction never went irrevocable")
+	}
+	if !rt.fallback.TryLock() {
+		t.Fatal("panic leaked the irrevocable fallback token")
+	}
+	rt.fallback.Unlock()
+}
+
+// TestChainEstimateDistinct: concurrent requestors registering on the
+// same receiver must observe distinct chain lengths 2, 3, ..., n+1.
+// The old pre-Add read let simultaneous arrivals all compute k=2,
+// hiding long chains from the Section 9 hybrid switch.
+func TestChainEstimateDistinct(t *testing.T) {
+	const n = 8
+	for round := 0; round < 50; round++ {
+		owner := &Tx{}
+		ks := make([]int, n)
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			i := i
+			go func() {
+				defer wg.Done()
+				start.Wait()
+				ks[i] = owner.chainK()
+			}()
+		}
+		start.Done()
+		wg.Wait()
+		sort.Ints(ks)
+		for i, k := range ks {
+			if k != i+2 {
+				t.Fatalf("round %d: chain estimates %v, want a permutation of 2..%d", round, ks, n+1)
+			}
+		}
+		if owner.waiters.Load() != n {
+			t.Fatalf("waiter count = %d, want %d", owner.waiters.Load(), n)
+		}
+	}
+}

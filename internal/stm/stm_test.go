@@ -32,6 +32,19 @@ func configs() []Config {
 			}
 		}
 	}
+	// Flat single-clock arena (Shards=1, the pre-sharding layout)
+	// coverage for both locking modes.
+	for _, lazy := range []bool{false, true} {
+		out = append(out, Config{
+			Policy:        core.RequestorWins,
+			Strategy:      strategy.UniformRW{},
+			Lazy:          lazy,
+			Shards:        1,
+			CleanupCost:   time.Microsecond,
+			MaxRetries:    128,
+			BackoffFactor: 1,
+		})
+	}
 	return out
 }
 
@@ -115,7 +128,7 @@ func TestEagerInPlaceAndRollback(t *testing.T) {
 		if rt.words[0].Load() != 7 {
 			t.Error("eager write not in place")
 		}
-		if rt.locks[0].Load()&1 != 1 {
+		if rt.meta[0].lock.Load()&1 != 1 {
 			t.Error("eager write did not lock the word")
 		}
 		return fail
@@ -123,7 +136,7 @@ func TestEagerInPlaceAndRollback(t *testing.T) {
 	if rt.ReadCommitted(0) != 0 {
 		t.Fatal("rollback did not restore the pre-image")
 	}
-	if rt.locks[0].Load()&1 != 0 {
+	if rt.meta[0].lock.Load()&1 != 0 {
 		t.Fatal("rollback left the word locked")
 	}
 }

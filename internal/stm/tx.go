@@ -1,0 +1,471 @@
+package stm
+
+import (
+	"sort"
+	"time"
+
+	"sync/atomic"
+
+	"txconflict/internal/rng"
+)
+
+// Descriptor state: one atomic word packing (epoch << stateEpochShift
+// | status). Only the descriptor's own goroutine advances the epoch
+// (once per attempt, in reset); requestors flip the status of exactly
+// one attempt with a full-state CAS, so a kill can never land on a
+// later attempt of a reused descriptor.
+const (
+	statusActive   uint64 = iota // running optimistically
+	statusKilled                 // a requestor won the conflict
+	statusNoReturn               // committing, past the point of no return
+
+	stateStatusMask uint64 = 3
+	stateEpochShift        = 2
+)
+
+// txAbort is the panic value used to unwind an aborted transaction.
+type txAbort struct{ reason string }
+
+// undoEntry records a pre-image for eager in-place writes.
+type undoEntry struct {
+	idx    int
+	oldVal uint64
+}
+
+type readEntry struct {
+	idx int
+	ver uint64
+}
+
+// Tx is a transaction descriptor. It is reused across retries of the
+// same atomic block and must not escape the transaction function;
+// per-attempt identity lives in the state word's epoch.
+type Tx struct {
+	rt  *Runtime
+	rng *rng.Rand
+
+	// state packs the attempt epoch and the status; see the const
+	// block above. Read and CASed by requestors resolving conflicts
+	// against this descriptor.
+	state   atomic.Uint64
+	waiters atomic.Int32 // requestors currently waiting on me
+	// irrevocable, startNanos and attempts are read by *other*
+	// goroutines (requestors inspecting their receiver in graceFor),
+	// hence atomic.
+	irrevocable atomic.Bool
+	startNanos  atomic.Int64
+	attempts    atomic.Int32
+
+	// rv holds the per-stripe read snapshot, taken lazily: 0 means
+	// "stripe not snapshotted yet", and any nonzero word version
+	// forces an extension on first contact. wvs is the per-stripe
+	// commit-version scratch (0 = stripe not written this commit).
+	rv  []uint64
+	wvs []uint64
+
+	reads []readEntry
+
+	// Lazy mode: buffered write set.
+	writeIdx  []int
+	writeVals map[int]uint64
+	// Eager mode: in-place writes with undo log.
+	undo []undoEntry
+
+	lockedUpTo int // lazy commit locks acquired (rollback bound)
+}
+
+// epoch returns the current attempt epoch.
+func (tx *Tx) epoch() uint64 { return tx.state.Load() >> stateEpochShift }
+
+// killed reports whether the current attempt was killed by a
+// requestor. Irrevocable transactions ignore kills (they cannot be
+// victims).
+func (tx *Tx) killed() bool {
+	return !tx.irrevocable.Load() && tx.state.Load()&stateStatusMask == statusKilled
+}
+
+// Attempts reports how many times the current atomic block aborted.
+func (tx *Tx) Attempts() int { return int(tx.attempts.Load()) }
+
+// Atomic runs fn transactionally, retrying on conflict; it returns
+// fn's error for user-level aborts. fn must confine all shared access
+// to tx.Load/tx.Store and must be safe to re-execute.
+//
+// Descriptors are pooled across Atomic calls. This is safe *because*
+// of the epoch protocol: a requestor that still holds a pointer to a
+// recycled descriptor can only act on it through a full-state CAS
+// against the (epoch, status) it captured, and that epoch is gone
+// forever once the descriptor is reset — the state word survives
+// recycling and its epoch only grows.
+func (rt *Runtime) Atomic(r *rng.Rand, fn func(tx *Tx) error) error {
+	tx, _ := rt.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{
+			rt:  rt,
+			rv:  make([]uint64, len(rt.stripes)),
+			wvs: make([]uint64, len(rt.stripes)),
+		}
+		if rt.cfg.Lazy {
+			tx.writeVals = make(map[int]uint64, 8)
+		}
+	}
+	tx.rng = r
+	tx.attempts.Store(0)
+	for {
+		tx.reset()
+		err, aborted := tx.attempt(fn)
+		if !aborted {
+			tx.rng = nil
+			rt.txPool.Put(tx)
+			return err
+		}
+		rt.Stats.Aborts.Add(1)
+		tx.attempts.Add(1)
+		if rt.cfg.MaxRetries > 0 && int(tx.attempts.Load()) >= rt.cfg.MaxRetries && !tx.irrevocable.Load() {
+			rt.fallback.Lock()
+			tx.irrevocable.Store(true)
+			rt.Stats.Irrevocable.Add(1)
+		}
+	}
+}
+
+// reset opens a fresh attempt: a new epoch (so stale requestors from
+// the previous attempt can neither kill us nor keep waiting on us)
+// and cleared speculative state.
+func (tx *Tx) reset() {
+	tx.state.Store((tx.epoch() + 1) << stateEpochShift) // status = active
+	tx.startNanos.Store(time.Now().UnixNano())
+	clear(tx.rv)
+	clear(tx.wvs)
+	tx.reads = tx.reads[:0]
+	tx.writeIdx = tx.writeIdx[:0]
+	if tx.writeVals != nil {
+		clear(tx.writeVals)
+	}
+	tx.undo = tx.undo[:0]
+	tx.lockedUpTo = 0
+}
+
+// attempt executes fn once; aborted reports whether it must be
+// retried.
+func (tx *Tx) attempt(fn func(tx *Tx) error) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(txAbort); !ok {
+				// A panic out of user code must not leak encounter
+				// locks or the irrevocable token — release both
+				// before letting it unwind.
+				tx.rollback()
+				tx.releaseToken()
+				panic(r)
+			}
+			tx.rollback()
+			aborted = true
+		}
+	}()
+	err = fn(tx)
+	if err != nil {
+		// User-level abort: discard speculative state, no retry.
+		tx.rollback()
+		tx.releaseToken()
+		return err, false
+	}
+	tx.commit()
+	tx.releaseToken()
+	tx.rt.Stats.Commits.Add(1)
+	tx.rt.profileUpdate(float64(time.Now().UnixNano() - tx.startNanos.Load()))
+	return nil, false
+}
+
+func (tx *Tx) releaseToken() {
+	if tx.irrevocable.Load() {
+		tx.irrevocable.Store(false)
+		tx.rt.fallback.Unlock()
+	}
+}
+
+// rollback undoes all speculative effects of the current attempt.
+func (tx *Tx) rollback() {
+	// Eager: restore pre-images in reverse order, then release the
+	// encounter locks with *fresh* stripe versions. Restoring the
+	// original version would be an ABA hazard: a reader that loaded
+	// the lock word before we acquired, the value while our dirty
+	// in-place write was visible, and the lock word again after this
+	// rollback would see an unchanged version and accept the
+	// uncommitted value. Bumping the stripe clock makes its recheck
+	// fail instead (at the cost of spurious validation aborts on the
+	// identical pre-image, the standard undo-log STM trade).
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		tx.rt.words[u.idx].Store(u.oldVal)
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		s := tx.rt.stripeOf(u.idx)
+		if tx.wvs[s] == 0 {
+			tx.wvs[s] = tx.rt.stripes[s].clock.Add(1)
+		}
+		m := &tx.rt.meta[u.idx]
+		m.owner.Store(nil)
+		m.lock.Store(tx.wvs[s] << 1)
+	}
+	if len(tx.undo) > 0 {
+		tx.undo = tx.undo[:0]
+		clear(tx.wvs)
+	}
+	// Lazy: release partially acquired commit locks. No write-back
+	// happened yet (that is after the no-return point), so the
+	// original versions are still truthful.
+	for i := 0; i < tx.lockedUpTo; i++ {
+		m := &tx.rt.meta[tx.writeIdx[i]]
+		m.owner.Store(nil)
+		l := m.lock.Load()
+		m.lock.Store(l &^ 1)
+	}
+	tx.lockedUpTo = 0
+	// Retire this attempt's epoch: the locks are gone, so any
+	// requestor still holding our captured (epoch, status) must see
+	// the attempt as over — its kill CAS has to miss, keeping
+	// Stats.Kills honest even while the descriptor idles in the pool
+	// (the next reset bumps the epoch again).
+	tx.state.Add(1 << stateEpochShift)
+}
+
+// abort unwinds the current attempt.
+func (tx *Tx) abort(reason string) {
+	panic(txAbort{reason: reason})
+}
+
+// checkKilled aborts if a requestor killed this transaction.
+func (tx *Tx) checkKilled() {
+	if tx.killed() {
+		tx.abort("killed")
+	}
+}
+
+// ownsLock reports whether tx holds the encounter/commit lock on idx.
+func (tx *Tx) ownsLock(idx int) bool {
+	return tx.rt.meta[idx].owner.Load() == tx
+}
+
+// extend adopts the latest snapshot of stripe s after revalidating
+// the whole read set (TL2/TinySTM-style snapshot extension). The
+// stripe clock is read *before* validation: any commit that races
+// past the loaded value either touches a read word (validation
+// fails) or leaves versions above the adopted snapshot (a later
+// extension catches it). Called on every validation miss, including
+// the first contact with a stripe whose words have committed
+// history.
+func (tx *Tx) extend(s int) {
+	c := tx.rt.stripes[s].clock.Load()
+	for _, re := range tx.reads {
+		l := tx.rt.meta[re.idx].lock.Load()
+		if l&1 == 1 {
+			if !tx.ownsLock(re.idx) {
+				tx.rt.Stats.SelfAborts.Add(1)
+				tx.abort("extend-locked")
+			}
+			continue
+		}
+		if l>>1 != re.ver {
+			tx.rt.Stats.SelfAborts.Add(1)
+			tx.abort("extend-version")
+		}
+	}
+	tx.rv[s] = c
+	tx.rt.Stats.Extensions.Add(1)
+}
+
+// Load reads word idx transactionally.
+func (tx *Tx) Load(idx int) uint64 {
+	tx.checkKilled()
+	if !tx.rt.cfg.Lazy {
+		if tx.ownsLock(idx) {
+			return tx.rt.words[idx].Load()
+		}
+	} else if v, ok := tx.writeVals[idx]; ok {
+		return v
+	}
+	m := &tx.rt.meta[idx]
+	for {
+		l1 := m.lock.Load()
+		if l1&1 == 1 {
+			tx.onLocked(idx)
+			tx.checkKilled()
+			continue
+		}
+		if s := tx.rt.stripeOf(idx); l1>>1 > tx.rv[s] {
+			// The word changed after our stripe snapshot (or the
+			// stripe has no snapshot yet); extend or die.
+			tx.extend(s)
+			continue
+		}
+		v := tx.rt.words[idx].Load()
+		if m.lock.Load() != l1 {
+			continue // raced with a writer; retry the read
+		}
+		tx.reads = append(tx.reads, readEntry{idx: idx, ver: l1 >> 1})
+		return v
+	}
+}
+
+// Store writes val to word idx transactionally.
+func (tx *Tx) Store(idx int, val uint64) {
+	tx.checkKilled()
+	if tx.rt.cfg.Lazy {
+		if _, ok := tx.writeVals[idx]; !ok {
+			tx.writeIdx = append(tx.writeIdx, idx)
+		}
+		tx.writeVals[idx] = val
+		return
+	}
+	// Eager: acquire the encounter lock on first touch, then write
+	// in place.
+	if !tx.ownsLock(idx) {
+		tx.acquire(idx)
+	}
+	tx.rt.words[idx].Store(val)
+}
+
+// acquire takes the encounter lock on idx (eager mode), logging the
+// pre-image.
+func (tx *Tx) acquire(idx int) {
+	m := &tx.rt.meta[idx]
+	for {
+		tx.checkKilled()
+		l := m.lock.Load()
+		if l&1 == 1 {
+			tx.onLocked(idx)
+			continue
+		}
+		if s := tx.rt.stripeOf(idx); l>>1 > tx.rv[s] {
+			tx.extend(s)
+			continue
+		}
+		if m.lock.CompareAndSwap(l, l|1) {
+			m.owner.Store(tx)
+			tx.undo = append(tx.undo, undoEntry{
+				idx:    idx,
+				oldVal: tx.rt.words[idx].Load(),
+			})
+			return
+		}
+	}
+}
+
+// commit finalizes the transaction.
+func (tx *Tx) commit() {
+	if tx.rt.cfg.Lazy {
+		tx.commitLazy()
+	} else {
+		tx.commitEager()
+	}
+}
+
+// enterNoReturn transitions to the unkillable commit phase. A kill
+// that lands first wins: the transaction obeys it and aborts.
+func (tx *Tx) enterNoReturn() {
+	st := tx.state.Load()
+	if tx.irrevocable.Load() {
+		tx.state.Store(st&^stateStatusMask | statusNoReturn)
+		return
+	}
+	if st&stateStatusMask != statusActive ||
+		!tx.state.CompareAndSwap(st, st&^stateStatusMask|statusNoReturn) {
+		tx.rt.Stats.SelfAborts.Add(1)
+		tx.abort("killed-at-commit")
+	}
+}
+
+// validateReads re-checks the read set at commit time.
+func (tx *Tx) validateReads() {
+	for _, re := range tx.reads {
+		l := tx.rt.meta[re.idx].lock.Load()
+		if l&1 == 1 {
+			if !tx.ownsLock(re.idx) {
+				tx.rt.Stats.SelfAborts.Add(1)
+				tx.abort("commit-validation-locked")
+			}
+			continue
+		}
+		if l>>1 != re.ver {
+			tx.rt.Stats.SelfAborts.Add(1)
+			tx.abort("commit-validation-version")
+		}
+	}
+}
+
+// stampStripes advances the clock of every stripe in the write set
+// once and records the new versions in tx.wvs.
+func (tx *Tx) stampStripes(idxOf func(i int) int, n int) {
+	for i := 0; i < n; i++ {
+		s := tx.rt.stripeOf(idxOf(i))
+		if tx.wvs[s] == 0 {
+			tx.wvs[s] = tx.rt.stripes[s].clock.Add(1)
+		}
+	}
+}
+
+func (tx *Tx) commitEager() {
+	if len(tx.undo) == 0 {
+		// Read-only: per-read validation against rv suffices.
+		tx.checkKilled()
+		return
+	}
+	tx.enterNoReturn()
+	tx.validateReads()
+	tx.stampStripes(func(i int) int { return tx.undo[i].idx }, len(tx.undo))
+	for _, u := range tx.undo {
+		m := &tx.rt.meta[u.idx]
+		m.owner.Store(nil)
+		m.lock.Store(tx.wvs[tx.rt.stripeOf(u.idx)] << 1)
+	}
+	tx.undo = tx.undo[:0]
+	clear(tx.wvs)
+}
+
+func (tx *Tx) commitLazy() {
+	if len(tx.writeIdx) == 0 {
+		tx.checkKilled()
+		return
+	}
+	sort.Ints(tx.writeIdx)
+	for i, idx := range tx.writeIdx {
+		tx.lockCommit(idx)
+		tx.lockedUpTo = i + 1
+	}
+	tx.enterNoReturn()
+	tx.validateReads()
+	tx.stampStripes(func(i int) int { return tx.writeIdx[i] }, len(tx.writeIdx))
+	for _, idx := range tx.writeIdx {
+		tx.rt.words[idx].Store(tx.writeVals[idx])
+	}
+	for _, idx := range tx.writeIdx {
+		m := &tx.rt.meta[idx]
+		m.owner.Store(nil)
+		m.lock.Store(tx.wvs[tx.rt.stripeOf(idx)] << 1)
+	}
+	tx.lockedUpTo = 0
+	clear(tx.wvs)
+}
+
+// lockCommit acquires a commit lock (lazy mode).
+func (tx *Tx) lockCommit(idx int) {
+	m := &tx.rt.meta[idx]
+	for {
+		tx.checkKilled()
+		l := m.lock.Load()
+		if l&1 == 0 {
+			if s := tx.rt.stripeOf(idx); l>>1 > tx.rv[s] {
+				tx.extend(s)
+				continue
+			}
+			if m.lock.CompareAndSwap(l, l|1) {
+				m.owner.Store(tx)
+				return
+			}
+			continue
+		}
+		tx.onLocked(idx)
+	}
+}

@@ -11,7 +11,7 @@ import (
 // guarantee: a change that breaks dist's API surfaces here by name
 // rather than as a wall of unrelated compile errors.
 var seedFailedPackages = []string{
-	"txconflict",                    // bench_test.go
+	"txconflict", // bench_test.go
 	"txconflict/internal/adversary",
 	"txconflict/internal/strategy",
 	"txconflict/internal/synth",

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short bench bench-stm tidy
+.PHONY: all build vet test race-short scenario-parity bench bench-stm tidy
 
 all: build vet test
 
@@ -18,9 +18,16 @@ test:
 
 # Race-detector pass over the runtimes with real concurrency
 # (internal/stm: goroutine STM; internal/htm: simulator driven from
-# worker goroutines). -short keeps it inside CI budgets.
+# worker goroutines; internal/scenario: the cross-backend parity
+# suite). -short keeps it inside CI budgets.
 race-short:
-	$(GO) test -race -short ./internal/stm/ ./internal/htm/
+	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/
+
+# Cross-backend scenario parity: every registry scenario on both the
+# HTM simulator and the STM runtime, invariants verified, under the
+# race detector. CI runs this at GOMAXPROCS=1 and 4.
+scenario-parity:
+	$(GO) test -race -count=1 -run 'TestScenarioParity' ./internal/scenario/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

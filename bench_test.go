@@ -16,12 +16,15 @@ import (
 	"txconflict/internal/core"
 	"txconflict/internal/dist"
 	"txconflict/internal/experiments"
+	"txconflict/internal/htm"
 	"txconflict/internal/report"
 	"txconflict/internal/rng"
+	"txconflict/internal/scenario"
 	"txconflict/internal/stats"
 	"txconflict/internal/stm"
 	"txconflict/internal/strategy"
 	"txconflict/internal/synth"
+	"txconflict/internal/workload"
 )
 
 // printOnce writes a table to stdout on the benchmark's first
@@ -205,6 +208,46 @@ func BenchmarkSTMArenaSharding(b *testing.B) {
 					})
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkScenarioHTM — E15: every registry scenario on the HTM
+// simulator at 8 cores (one sub-benchmark per scenario name, the
+// same registry the -scenario CLI flags select from).
+func BenchmarkScenarioHTM(b *testing.B) {
+	for _, name := range scenario.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			w, err := workload.ByName(name, scenario.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := htm.DefaultParams(8)
+			p.Strategy = strategy.UniformRW{}
+			m := htm.NewMachine(p, w)
+			b.ResetTimer()
+			m.Run(uint64(b.N) * 200)
+		})
+	}
+}
+
+// BenchmarkScenarioSTM — E16: every registry scenario as real
+// transactions on the STM runtime (single worker: per-op latency).
+func BenchmarkScenarioSTM(b *testing.B) {
+	for _, name := range scenario.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			sc, err := scenario.ByName(name, scenario.Options{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rn := scenario.NewSTMRunner(sc, stm.DefaultConfig())
+			r := rng.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rn.RunOne(0, r)
+			}
 		})
 	}
 }

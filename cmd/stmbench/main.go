@@ -1,14 +1,20 @@
 // Command stmbench runs the real-goroutine STM throughput benchmarks
 // — the Figure 3 analogue on actual parallel hardware, with the same
 // strategy set (NO_DELAY, DELAY_TUNED, DELAY_DET, DELAY_RAND).
+// Workloads come from the shared scenario registry
+// (internal/scenario), the same engine cmd/txsim drives on the HTM
+// simulator, and every cell is verified against the scenario's
+// committed-state invariant.
 //
 // Usage:
 //
-//	stmbench -bench all
-//	stmbench -bench stack -goroutines 1,2,4,8
-//	stmbench -bench txapp -policy ra -lazy
-//	stmbench -bench txapp -shards 1          # flat single-clock arena
-//	stmbench -ablate -bench txapp            # runtime design ablations
+//	stmbench -scenario all
+//	stmbench -scenario stack -goroutines 1,2,4,8
+//	stmbench -scenario txapp -policy ra -lazy
+//	stmbench -scenario hotspot -dist zipf -mu 100  # skewed lengths too
+//	stmbench -scenario txapp -shards 1       # flat single-clock arena
+//	stmbench -scenario txapp -kwindow 64     # windowed chain estimator
+//	stmbench -ablate -scenario txapp         # runtime design ablations
 //	stmbench -perf -out BENCH_stm.json       # CI perf snapshot
 package main
 
@@ -22,33 +28,59 @@ import (
 	"time"
 
 	"txconflict/internal/core"
+	"txconflict/internal/dist"
 	"txconflict/internal/experiments"
 	"txconflict/internal/report"
+	"txconflict/internal/scenario"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "all", "benchmark: stack, queue, txapp, bimodal or all")
-		levels = flag.String("goroutines", "", "comma-separated goroutine counts (default: powers of two up to GOMAXPROCS)")
-		dur    = flag.Duration("duration", 300*time.Millisecond, "measurement duration per cell")
-		policy = flag.String("policy", "rw", "conflict policy: rw or ra")
-		lazy   = flag.Bool("lazy", false, "use lazy (commit-time) locking instead of eager")
-		shards = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of text")
-		ablate = flag.Bool("ablate", false, "run the STM design ablations instead of the strategy sweep (baseline pinned: -policy/-lazy/-shards ignored)")
-		perf   = flag.Bool("perf", false, "emit the JSON perf snapshot (commits/sec and aborts at 1/4/8 procs)")
-		out    = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
+		scen     = flag.String("scenario", "", "scenario from the shared registry (or 'all', 'list'); see internal/scenario")
+		bench    = flag.String("bench", "all", "deprecated alias for -scenario")
+		distName = flag.String("dist", "", "override the transaction-length distribution (see internal/dist; '' = scenario default)")
+		mu       = flag.Float64("mu", 60, "mean of the -dist override, in busy-work iterations")
+		levels   = flag.String("goroutines", "", "comma-separated goroutine counts (default: powers of two up to GOMAXPROCS)")
+		dur      = flag.Duration("duration", 300*time.Millisecond, "measurement duration per cell")
+		policy   = flag.String("policy", "rw", "conflict policy: rw or ra")
+		lazy     = flag.Bool("lazy", false, "use lazy (commit-time) locking instead of eager")
+		shards   = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
+		kwindow  = flag.Int("kwindow", 0, "windowed conflict-chain estimator size (0 = instantaneous 2+waiters)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text")
+		ablate   = flag.Bool("ablate", false, "run the STM design ablations instead of the strategy sweep (baseline pinned: -policy/-lazy/-shards/-kwindow ignored)")
+		perf     = flag.Bool("perf", false, "emit the JSON perf snapshot (commits/sec at 1/4/8 procs plus the per-scenario sweep)")
+		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
 	)
 	flag.Parse()
+
+	sel := *scen
+	if sel == "" {
+		sel = *bench
+	}
+	if sel == "list" {
+		for _, line := range scenario.Describe() {
+			fmt.Println(line)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultSTMConfig()
 	cfg.Duration = *dur
 	cfg.Seed = *seed
 	cfg.Lazy = *lazy
 	cfg.Shards = *shards
+	cfg.KWindow = *kwindow
 	if strings.EqualFold(*policy, "ra") {
 		cfg.Policy = core.RequestorAborts
+	}
+	if *distName != "" {
+		smp, err := dist.ByName(*distName, *mu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(2)
+		}
+		cfg.Length = smp
 	}
 	if *levels != "" {
 		var gs []int
@@ -64,13 +96,13 @@ func main() {
 	}
 
 	if *perf {
-		runPerf(*bench, cfg, *levels != "", *out)
+		runPerf(sel, cfg, *levels != "", *out)
 		return
 	}
 
-	benches := []string{*bench}
-	if *bench == "all" {
-		benches = []string{"stack", "queue", "txapp", "bimodal"}
+	benches := []string{sel}
+	if sel == "all" {
+		benches = scenario.Names()
 	}
 	for _, b := range benches {
 		var (
@@ -137,5 +169,5 @@ func runPerf(bench string, cfg experiments.STMConfig, explicitLevels bool, out s
 		fmt.Fprintln(os.Stderr, "stmbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%s, shards=%d)\n", out, rep.Bench, rep.Shards)
+	fmt.Printf("wrote %s (%s, shards=%d, %d scenarios)\n", out, rep.Bench, rep.Shards, len(rep.Scenarios))
 }

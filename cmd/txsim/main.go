@@ -1,15 +1,21 @@
 // Command txsim regenerates Figure 3 on the HTM multicore simulator:
 // throughput of NO_DELAY, DELAY_TUNED, DELAY_DET and DELAY_RAND on
-// the stack, queue, transactional-application and bimodal benchmarks
-// across thread counts.
+// the registered scenarios (the paper's stack, queue,
+// transactional-application and bimodal benchmarks plus the
+// read-mostly, long-reader and hotspot/zipf extensions) across
+// thread counts. Workloads come from the shared scenario registry
+// (internal/scenario), the same engine cmd/stmbench drives on the
+// real STM runtime, and every cell is verified against the
+// scenario's committed-state invariant.
 //
 // Usage:
 //
-//	txsim -bench stack                    # one panel
-//	txsim -bench all                      # all four panels
-//	txsim -bench queue -threads 1,2,4,8   # custom sweep
-//	txsim -bench txapp -policy ra         # requestor-aborts HTM
-//	txsim -bench stack -detail 8          # per-cell metrics at 8 threads
+//	txsim -scenario stack                   # one panel
+//	txsim -scenario all                     # every registered scenario
+//	txsim -scenario queue -threads 1,2,4,8  # custom sweep
+//	txsim -scenario txapp -policy ra        # requestor-aborts HTM
+//	txsim -scenario txapp -dist pareto -mu 80  # heavy-tailed lengths
+//	txsim -scenario stack -detail 8         # per-cell metrics at 8 threads
 package main
 
 import (
@@ -20,8 +26,10 @@ import (
 	"strings"
 
 	"txconflict/internal/core"
+	"txconflict/internal/dist"
 	"txconflict/internal/experiments"
 	"txconflict/internal/report"
+	"txconflict/internal/scenario"
 	"txconflict/internal/strategy"
 )
 
@@ -39,16 +47,30 @@ func parseThreads(s string) ([]int, error) {
 
 func main() {
 	var (
-		bench   = flag.String("bench", "all", "benchmark: stack, queue, txapp, bimodal or all")
-		threads = flag.String("threads", "1,2,4,8,12,16", "comma-separated core counts")
-		cycles  = flag.Uint64("cycles", 2_000_000, "simulated cycles per cell")
-		policy  = flag.String("policy", "rw", "conflict policy: rw or ra")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of text")
-		detail  = flag.Int("detail", 0, "print detailed metrics for this thread count instead of the sweep")
-		ablate  = flag.Int("ablate", 0, "run the design-choice ablations at this thread count instead of the sweep")
+		scen     = flag.String("scenario", "", "scenario from the shared registry (or 'all', 'list'); see internal/scenario")
+		bench    = flag.String("bench", "all", "deprecated alias for -scenario")
+		distName = flag.String("dist", "", "override the transaction-length distribution (see internal/dist; '' = scenario default)")
+		mu       = flag.Float64("mu", 60, "mean of the -dist override, in cycles")
+		threads  = flag.String("threads", "1,2,4,8,12,16", "comma-separated core counts")
+		cycles   = flag.Uint64("cycles", 2_000_000, "simulated cycles per cell")
+		policy   = flag.String("policy", "rw", "conflict policy: rw or ra")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text")
+		detail   = flag.Int("detail", 0, "print detailed metrics for this thread count instead of the sweep")
+		ablate   = flag.Int("ablate", 0, "run the design-choice ablations at this thread count instead of the sweep")
 	)
 	flag.Parse()
+
+	sel := *scen
+	if sel == "" {
+		sel = *bench
+	}
+	if sel == "list" {
+		for _, line := range scenario.Describe() {
+			fmt.Println(line)
+		}
+		return
+	}
 
 	ths, err := parseThreads(*threads)
 	if err != nil {
@@ -60,10 +82,18 @@ func main() {
 		pol = core.RequestorAborts
 	}
 	cfg := experiments.Fig3Config{Threads: ths, Cycles: *cycles, Policy: pol, Seed: *seed, GHz: 1}
+	if *distName != "" {
+		smp, err := dist.ByName(*distName, *mu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txsim:", err)
+			os.Exit(2)
+		}
+		cfg.Length = smp
+	}
 
-	benches := []string{*bench}
-	if *bench == "all" {
-		benches = []string{"stack", "queue", "txapp", "bimodal"}
+	benches := []string{sel}
+	if sel == "all" {
+		benches = scenario.Names()
 	}
 
 	for _, b := range benches {
@@ -108,7 +138,7 @@ func printDetail(bench string, threads int, cfg experiments.Fig3Config) error {
 		Title:   fmt.Sprintf("%s detail at %d threads", bench, threads),
 		Columns: []string{"strategy", "commits", "aborts", "conflicts", "graceCommits", "capAborts", "nackAborts", "ops/s"},
 	}
-	tuned, err := experiments.TunedDelayFor(bench)
+	tuned, err := experiments.TunedDelayFor(bench, cfg.Length)
 	if err != nil {
 		return err
 	}

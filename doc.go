@@ -8,15 +8,27 @@
 // distribution subsystem (internal/dist: the Figure 2 suite —
 // constant, uniform, exponential, lognormal, bimodal — plus
 // heavy-tailed pareto, rank-skewed zipf and empirical trace replay,
-// and the CDF-inversion/integration helpers the strategies use), a
-// cycle-level HTM multicore simulator with directory MSI coherence
-// (internal/htm and friends) standing in for the paper's Graphite
-// setup, a hand-rolled software transactional runtime for
-// real-goroutine experiments (internal/stm: a sharded lock arena
-// with cache-line-padded word metadata, striped per-shard commit
-// clocks with TL2-style snapshot extension, and an attempt-epoch
-// kill protocol), and harnesses
-// regenerating every figure of the paper's evaluation
-// (internal/synth, internal/adversary, internal/experiments; see
-// bench_test.go, cmd/ and EXPERIMENTS.md).
+// and the CDF-inversion/integration helpers the strategies use), and
+// the unified scenario engine (internal/scenario): the paper's
+// Section 8.2 benchmarks (stack, queue, TxApp, bimodal) plus
+// read-mostly, long-reader and hotspot/zipf workloads expressed as
+// backend-agnostic transaction programs with dist-driven lengths and
+// verifiable committed-state invariants.
+//
+// Two execution backends run the same scenarios: a cycle-level HTM
+// multicore simulator with directory MSI coherence (internal/htm,
+// fed through the internal/workload compiler) standing in for the
+// paper's Graphite setup, and a hand-rolled software transactional
+// runtime for real-goroutine experiments (internal/stm: a sharded
+// lock arena with cache-line-padded word metadata, striped per-shard
+// commit clocks with TL2-style snapshot extension, an attempt-epoch
+// kill protocol, and a windowed conflict-chain estimator behind
+// Config.KWindow), driven by scenario.STMRunner. cmd/txsim and
+// cmd/stmbench select workloads from the one registry via
+// -scenario/-dist, and every run is checked against its scenario's
+// invariant end to end.
+//
+// Harnesses regenerating every figure of the paper's evaluation live
+// in internal/synth, internal/adversary and internal/experiments;
+// see bench_test.go, cmd/ and EXPERIMENTS.md.
 package txconflict

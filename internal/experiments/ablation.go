@@ -6,7 +6,9 @@ import (
 	"txconflict/internal/core"
 	"txconflict/internal/htm"
 	"txconflict/internal/report"
+	"txconflict/internal/scenario"
 	"txconflict/internal/strategy"
+	"txconflict/internal/workload"
 )
 
 // Ablations runs the design-choice ablations called out in DESIGN.md
@@ -50,7 +52,7 @@ func Ablations(bench string, threads int, cfg Fig3Config) (*report.Table, error)
 		Columns: []string{"variant", "ops/s", "aborts/commit", "conflicts", "graceCommits"},
 	}
 	for _, v := range variants {
-		w, err := fig3Workload(bench)
+		w, err := workload.ByName(bench, scenario.Options{Length: cfg.Length})
 		if err != nil {
 			return nil, err
 		}

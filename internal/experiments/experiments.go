@@ -7,16 +7,16 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"txconflict/internal/core"
+	"txconflict/internal/dist"
 	"txconflict/internal/htm"
 	"txconflict/internal/report"
 	"txconflict/internal/rng"
+	"txconflict/internal/scenario"
 	"txconflict/internal/stm"
 	"txconflict/internal/strategy"
-	"txconflict/internal/txds"
 	"txconflict/internal/workload"
 )
 
@@ -29,6 +29,9 @@ type Fig3Config struct {
 	// Policy is the HTM conflict-resolution policy (paper: requestor
 	// wins).
 	Policy core.Policy
+	// Length overrides the scenario's default transaction-length
+	// sampler (the -dist flag); nil keeps the scenario default.
+	Length dist.Sampler
 	// Seed feeds all random streams.
 	Seed uint64
 	// GHz converts cycles to seconds for ops/s reporting.
@@ -46,32 +49,16 @@ func DefaultFig3Config() Fig3Config {
 	}
 }
 
-// fig3Workload builds a fresh workload instance for a benchmark name.
-// Fresh instances matter: stack/queue generators carry per-core
-// parity state.
-func fig3Workload(bench string) (htm.Workload, error) {
-	switch bench {
-	case "stack":
-		return workload.NewStack(15, 10), nil
-	case "queue":
-		return workload.NewQueue(15, 10), nil
-	case "txapp":
-		return workload.NewTxApp(60, 10), nil
-	case "bimodal":
-		return workload.NewBimodal(50, 5000, 0.5, 10), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown benchmark %q (stack, queue, txapp, bimodal)", bench)
-	}
-}
-
 // Figure3 regenerates one panel of Figure 3: throughput (ops/s) of
 // NO_DELAY, DELAY_TUNED, DELAY_DET, DELAY_RAND across thread counts
-// on the HTM simulator.
+// on the HTM simulator. Every cell is drained after its measurement
+// window and checked against the scenario's committed-state
+// invariant, so each regeneration doubles as a serializability test.
 func Figure3(bench string, cfg Fig3Config) (*report.Table, error) {
 	if len(cfg.Threads) == 0 {
 		cfg = DefaultFig3Config()
 	}
-	tunedProbe, err := fig3Workload(bench)
+	tunedProbe, err := workload.ByName(bench, scenario.Options{Length: cfg.Length})
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +74,7 @@ func Figure3(bench string, cfg Fig3Config) (*report.Table, error) {
 	for _, n := range cfg.Threads {
 		row := []interface{}{n}
 		for _, s := range strategies {
-			w, err := fig3Workload(bench)
+			w, err := workload.ByName(bench, scenario.Options{Length: cfg.Length})
 			if err != nil {
 				return nil, err
 			}
@@ -98,6 +85,10 @@ func Figure3(bench string, cfg Fig3Config) (*report.Table, error) {
 			m := htm.NewMachine(p, w)
 			met := m.Run(cfg.Cycles)
 			row = append(row, met.OpsPerSecond(cfg.GHz))
+			fin := m.Drain()
+			if err := w.Check(m.Dir.ReadWord, fin.PerCoreCommits); err != nil {
+				return nil, fmt.Errorf("experiments: %s at %d threads (%v): %w", bench, n, s, err)
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -107,9 +98,10 @@ func Figure3(bench string, cfg Fig3Config) (*report.Table, error) {
 }
 
 // TunedDelayFor returns the DELAY_TUNED grace period for a
-// benchmark: the average isolated fast-path length in cycles.
-func TunedDelayFor(bench string) (float64, error) {
-	w, err := fig3Workload(bench)
+// benchmark: the average isolated fast-path length in cycles, under
+// the same length-sampler override the measured cells run with.
+func TunedDelayFor(bench string, length dist.Sampler) (float64, error) {
+	w, err := workload.ByName(bench, scenario.Options{Length: length})
 	if err != nil {
 		return 0, err
 	}
@@ -119,7 +111,7 @@ func TunedDelayFor(bench string) (float64, error) {
 // Fig3Metrics returns the raw metrics for one cell, for detailed
 // inspection (abort rates, conflicts, grace commits).
 func Fig3Metrics(bench string, threads int, s core.Strategy, cfg Fig3Config) (htm.Metrics, error) {
-	w, err := fig3Workload(bench)
+	w, err := workload.ByName(bench, scenario.Options{Length: cfg.Length})
 	if err != nil {
 		return htm.Metrics{}, err
 	}
@@ -144,6 +136,12 @@ type STMConfig struct {
 	// Shards is the stm arena stripe count (0 = runtime default,
 	// 1 = flat single-clock arena).
 	Shards int
+	// KWindow enables the windowed conflict-chain estimator
+	// (stm.Config.KWindow); 0 keeps the instantaneous estimate.
+	KWindow int
+	// Length overrides the scenario's default transaction-length
+	// sampler (the -dist flag); nil keeps the scenario default.
+	Length dist.Sampler
 	// Seed feeds the per-goroutine streams.
 	Seed uint64
 }
@@ -166,35 +164,27 @@ func DefaultSTMConfig() STMConfig {
 	}
 }
 
-// stmOp abstracts one benchmark operation on a freshly built
-// structure.
-type stmOp struct {
-	rt *stm.Runtime
-	op func(r *rng.Rand)
+// stmScenario instantiates a registry scenario sized for the given
+// worker count on a fresh STM runtime.
+func stmScenario(bench string, length dist.Sampler, workers int, cfg stm.Config) (*scenario.STMRunner, error) {
+	sc, err := scenario.ByName(bench, scenario.Options{Workers: workers, Length: length})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return scenario.NewSTMRunner(sc, cfg), nil
 }
 
-func stmBench(bench string, cfg stm.Config) (stmOp, error) {
-	switch bench {
-	case "stack":
-		s := txds.NewStack(4096, cfg)
-		return stmOp{rt: s.Runtime(), op: func(r *rng.Rand) {
-			_ = s.Push(r, 1)
-			_, _ = s.Pop(r)
-		}}, nil
-	case "queue":
-		q := txds.NewQueue(4096, cfg)
-		return stmOp{rt: q.Runtime(), op: func(r *rng.Rand) {
-			_ = q.Enqueue(r, 1)
-			_, _ = q.Dequeue(r)
-		}}, nil
-	case "txapp":
-		a := txds.NewApp(300, cfg)
-		return stmOp{rt: a.Runtime(), op: a.Op}, nil
-	case "bimodal":
-		a := txds.NewBimodalApp(50, 20000, 0.5, cfg)
-		return stmOp{rt: a.Runtime(), op: a.Op}, nil
-	default:
-		return stmOp{}, fmt.Errorf("experiments: unknown STM benchmark %q", bench)
+// stmRuntimeConfig assembles the stm.Config shared by the STM
+// harnesses from the experiment-level knobs.
+func stmRuntimeConfig(cfg STMConfig, s core.Strategy) stm.Config {
+	return stm.Config{
+		Policy:      cfg.Policy,
+		Strategy:    s,
+		Lazy:        cfg.Lazy,
+		Shards:      cfg.Shards,
+		KWindow:     cfg.KWindow,
+		CleanupCost: 2 * time.Microsecond,
+		MaxRetries:  256,
 	}
 }
 
@@ -210,30 +200,33 @@ func stmStrategies(tunedNs float64) []core.Strategy {
 }
 
 // tuneSTM measures the mean uncontended op latency (ns) for the
-// DELAY_TUNED baseline.
-func tuneSTM(bench string, pol core.Policy, lazy bool, shards int, seed uint64) (float64, error) {
-	cfg := stm.Config{Policy: pol, Lazy: lazy, Shards: shards, CleanupCost: 2 * time.Microsecond, MaxRetries: 64}
-	b, err := stmBench(bench, cfg)
+// DELAY_TUNED baseline: one worker executing the scenario in
+// isolation.
+func tuneSTM(bench string, cfg STMConfig) (float64, error) {
+	sCfg := stmRuntimeConfig(cfg, nil)
+	sCfg.MaxRetries = 64
+	rn, err := stmScenario(bench, cfg.Length, 1, sCfg)
 	if err != nil {
 		return 0, err
 	}
-	r := rng.New(seed)
+	r := rng.New(cfg.Seed)
 	const ops = 3000
 	start := time.Now()
 	for i := 0; i < ops; i++ {
-		b.op(r)
+		rn.RunOne(0, r)
 	}
 	return float64(time.Since(start).Nanoseconds()) / ops, nil
 }
 
 // STMThroughput regenerates the Figure 3 analogue on the real
 // STM runtime: ops/s for the four delay strategies across goroutine
-// counts.
+// counts. Every cell runs on a fresh arena and is checked against the
+// scenario invariant after it stops.
 func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
 	if len(cfg.Goroutines) == 0 {
 		cfg = DefaultSTMConfig()
 	}
-	tuned, err := tuneSTM(bench, cfg.Policy, cfg.Lazy, cfg.Shards, cfg.Seed)
+	tuned, err := tuneSTM(bench, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -244,66 +237,18 @@ func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
 	for _, n := range cfg.Goroutines {
 		row := []interface{}{n}
 		for _, s := range stmStrategies(tuned) {
-			sCfg := stm.Config{
-				Policy:      cfg.Policy,
-				Strategy:    s,
-				Lazy:        cfg.Lazy,
-				Shards:      cfg.Shards,
-				CleanupCost: 2 * time.Microsecond,
-				MaxRetries:  256,
-			}
-			b, err := stmBench(bench, sCfg)
+			rn, err := stmScenario(bench, cfg.Length, n, stmRuntimeConfig(cfg, s))
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, runSTMCell(b, n, cfg.Duration, cfg.Seed))
+			res := rn.Drive(n, cfg.Duration, cfg.Seed)
+			if err := rn.Check(res.PerWorker); err != nil {
+				return nil, fmt.Errorf("experiments: %s at %d goroutines: %w", bench, n, err)
+			}
+			row = append(row, res.OpsPerSec())
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("tuned delay = %.0f ns (mean uncontended op latency)", tuned)
 	return t, nil
-}
-
-// driveSTM hammers the structure with n goroutines for roughly d,
-// returning the completed op count and the elapsed seconds. The
-// shared driver under both the throughput sweep (ops/s) and the
-// ablation/perf harnesses (commits/s from the runtime counters).
-func driveSTM(b stmOp, n int, d time.Duration, seed uint64) (ops uint64, elapsedSec float64) {
-	root := rng.New(seed)
-	var wg sync.WaitGroup
-	stop := make(chan struct{})
-	counts := make([]uint64, n)
-	for g := 0; g < n; g++ {
-		r := root.Split()
-		g := g
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				b.op(r)
-				counts[g]++
-			}
-		}()
-	}
-	start := time.Now()
-	time.Sleep(d)
-	close(stop)
-	wg.Wait()
-	elapsedSec = time.Since(start).Seconds()
-	for _, c := range counts {
-		ops += c
-	}
-	return ops, elapsedSec
-}
-
-// runSTMCell measures ops/s with n goroutines hammering the
-// structure for the duration.
-func runSTMCell(b stmOp, n int, d time.Duration, seed uint64) float64 {
-	ops, elapsed := driveSTM(b, n, d, seed)
-	return float64(ops) / elapsed
 }

@@ -110,7 +110,7 @@ func TestSTMAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 7 {
+	if len(tab.Rows) != 8 {
 		t.Fatalf("ablation rows = %d", len(tab.Rows))
 	}
 	for _, row := range tab.Rows {
@@ -191,11 +191,11 @@ func TestAblations(t *testing.T) {
 }
 
 func TestTunedDelayFor(t *testing.T) {
-	d, err := TunedDelayFor("stack")
+	d, err := TunedDelayFor("stack", nil)
 	if err != nil || d <= 0 {
 		t.Fatalf("TunedDelayFor: %v, %v", d, err)
 	}
-	if _, err := TunedDelayFor("nope"); err == nil {
+	if _, err := TunedDelayFor("nope", nil); err == nil {
 		t.Fatal("unknown bench accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"txconflict/internal/core"
 	"txconflict/internal/report"
+	"txconflict/internal/scenario"
 	"txconflict/internal/stm"
 	"txconflict/internal/strategy"
 )
@@ -17,33 +18,38 @@ import (
 type stmMeasurement struct {
 	CommitsPerSec   float64
 	AbortsPerCommit float64
+	KEstimate       float64
 	Stats           map[string]uint64
 }
 
-// measureSTM runs n goroutines against b for roughly d (via the
-// shared driveSTM harness) and reads the runtime counters afterwards.
-func measureSTM(b stmOp, n int, d time.Duration, seed uint64) stmMeasurement {
-	_, elapsed := driveSTM(b, n, d, seed)
-	snap := b.rt.Stats.Snapshot()
+// measureSTM runs n goroutines against the scenario runner for
+// roughly d, verifies the scenario invariant, and reads the runtime
+// counters afterwards.
+func measureSTM(rn *scenario.STMRunner, n int, d time.Duration, seed uint64) (stmMeasurement, error) {
+	res := rn.Drive(n, d, seed)
+	if err := rn.Check(res.PerWorker); err != nil {
+		return stmMeasurement{}, err
+	}
+	snap := rn.Runtime().Stats.Snapshot()
 	commits := snap["commits"]
-	m := stmMeasurement{Stats: snap}
-	if elapsed > 0 {
-		m.CommitsPerSec = float64(commits) / elapsed
+	m := stmMeasurement{Stats: snap, KEstimate: rn.Runtime().KEstimate()}
+	if res.ElapsedSec > 0 {
+		m.CommitsPerSec = float64(commits) / res.ElapsedSec
 	}
 	if commits > 0 {
 		m.AbortsPerCommit = float64(snap["aborts"]) / float64(commits)
 	}
-	return m
+	return m, nil
 }
 
 // STMAblations runs the runtime-level design ablations on one
 // benchmark at one goroutine count on the real STM: arena sharding
 // (striped clocks vs the flat single-clock layout), locking mode,
-// policy, the Section 9 hybrid switch, Corollary 2 backoff, and the
-// NO_DELAY baseline. The base configuration is pinned (eager
-// requestor-wins, RRW, default shards) so every row varies exactly
-// one design choice against the same baseline; cfg supplies only
-// Duration and Seed.
+// policy, the Section 9 hybrid switch, the windowed conflict-chain
+// estimator, Corollary 2 backoff, and the NO_DELAY baseline. The base
+// configuration is pinned (eager requestor-wins, RRW, default shards)
+// so every row varies exactly one design choice against the same
+// baseline; cfg supplies only Duration, Seed and Length.
 func STMAblations(bench string, goroutines int, cfg STMConfig) (*report.Table, error) {
 	if goroutines <= 0 {
 		goroutines = runtime.GOMAXPROCS(0)
@@ -67,6 +73,7 @@ func STMAblations(bench string, goroutines int, cfg STMConfig) (*report.Table, e
 			c.HybridPolicy = true
 			c.Strategy = strategy.Hybrid{}
 		}},
+		{"windowed k estimator (KWindow=64)", func(c *stm.Config) { c.KWindow = 64 }},
 		{"Cor2 backoff x2", func(c *stm.Config) { c.BackoffFactor = 2 }},
 		{"NO_DELAY", func(c *stm.Config) { c.Strategy = nil }},
 	}
@@ -83,11 +90,14 @@ func STMAblations(bench string, goroutines int, cfg STMConfig) (*report.Table, e
 			MaxRetries:    256,
 		}
 		v.adjust(&sCfg)
-		b, err := stmBench(bench, sCfg)
+		rn, err := stmScenario(bench, cfg.Length, goroutines, sCfg)
 		if err != nil {
 			return nil, err
 		}
-		m := measureSTM(b, goroutines, cfg.Duration, cfg.Seed)
+		m, err := measureSTM(rn, goroutines, cfg.Duration, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
+		}
 		t.AddRow(v.name, m.CommitsPerSec, m.AbortsPerCommit, m.Stats["kills"], m.Stats["extensions"])
 	}
 	return t, nil
@@ -100,23 +110,37 @@ type STMPerfPoint struct {
 	Aborts          uint64  `json:"aborts"`
 	AbortsPerCommit float64 `json:"abortsPerCommit"`
 	Kills           uint64  `json:"kills"`
+	KEstimate       float64 `json:"kEstimate,omitempty"`
+}
+
+// STMScenarioPerf is one registry scenario's committed-transaction
+// throughput, recorded so workload-level regressions show up in the
+// perf history alongside the main trajectory.
+type STMScenarioPerf struct {
+	Scenario        string  `json:"scenario"`
+	Goroutines      int     `json:"goroutines"`
+	CommitsPerSec   float64 `json:"commitsPerSec"`
+	AbortsPerCommit float64 `json:"abortsPerCommit"`
 }
 
 // STMPerfReport is the machine-readable perf trajectory snapshot
 // emitted by `make bench-stm` into BENCH_stm.json.
 type STMPerfReport struct {
-	Bench      string         `json:"bench"`
-	Policy     string         `json:"policy"`
-	Lazy       bool           `json:"lazy"`
-	Shards     int            `json:"shards"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	DurationMS int64          `json:"durationMs"`
-	Points     []STMPerfPoint `json:"points"`
+	Bench      string            `json:"bench"`
+	Policy     string            `json:"policy"`
+	Lazy       bool              `json:"lazy"`
+	Shards     int               `json:"shards"`
+	KWindow    int               `json:"kWindow,omitempty"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	DurationMS int64             `json:"durationMs"`
+	Points     []STMPerfPoint    `json:"points"`
+	Scenarios  []STMScenarioPerf `json:"scenarios"`
 }
 
-// STMPerf measures commits/sec and abort counts on the write-heavy
-// benchmark at the configured goroutine levels (default 1/4/8), the
-// recorded perf trajectory for CI.
+// STMPerf measures commits/sec and abort counts on the main benchmark
+// at the configured goroutine levels (default 1/4/8), plus a
+// per-scenario commits/sec sweep over the whole registry at a fixed
+// level — the recorded perf trajectory for CI.
 func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 	levels := cfg.Goroutines
 	if len(levels) == 0 {
@@ -129,31 +153,49 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 		Bench:      bench,
 		Policy:     cfg.Policy.String(),
 		Lazy:       cfg.Lazy,
+		KWindow:    cfg.KWindow,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		DurationMS: cfg.Duration.Milliseconds(),
 	}
 	for _, n := range levels {
-		sCfg := stm.Config{
-			Policy:        cfg.Policy,
-			Strategy:      strategy.UniformRW{},
-			Lazy:          cfg.Lazy,
-			Shards:        cfg.Shards,
-			CleanupCost:   2 * time.Microsecond,
-			BackoffFactor: 1,
-			MaxRetries:    256,
-		}
-		b, err := stmBench(bench, sCfg)
+		sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
+		rn, err := stmScenario(bench, cfg.Length, n, sCfg)
 		if err != nil {
 			return nil, err
 		}
-		rep.Shards = b.rt.Shards()
-		m := measureSTM(b, n, cfg.Duration, cfg.Seed)
+		rep.Shards = rn.Runtime().Shards()
+		m, err := measureSTM(rn, n, cfg.Duration, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
 		rep.Points = append(rep.Points, STMPerfPoint{
 			Goroutines:      n,
 			CommitsPerSec:   m.CommitsPerSec,
 			Aborts:          m.Stats["aborts"],
 			AbortsPerCommit: m.AbortsPerCommit,
 			Kills:           m.Stats["kills"],
+			KEstimate:       m.KEstimate,
+		})
+	}
+	// Per-scenario sweep: every registry workload at a fixed level,
+	// half the main duration (the trajectory, not a deep benchmark).
+	const scenarioLevel = 4
+	scenarioDur := cfg.Duration / 2
+	for _, name := range scenario.Names() {
+		sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
+		rn, err := stmScenario(name, cfg.Length, scenarioLevel, sCfg)
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureSTM(rn, scenarioLevel, scenarioDur, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf scenario %q: %w", name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, STMScenarioPerf{
+			Scenario:        name,
+			Goroutines:      scenarioLevel,
+			CommitsPerSec:   m.CommitsPerSec,
+			AbortsPerCommit: m.AbortsPerCommit,
 		})
 	}
 	return rep, nil

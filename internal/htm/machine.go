@@ -25,8 +25,14 @@ type Machine struct {
 }
 
 // NewMachine builds a machine for the given parameters and workload.
+// Workloads that carry per-core state can implement
+// EnsureWorkers(n int); it is called with the actual core count so
+// the state is sized to the machine instead of a hard-coded maximum.
 func NewMachine(p Params, w Workload) *Machine {
 	p.validate()
+	if ws, ok := w.(interface{ EnsureWorkers(n int) }); ok {
+		ws.EnsureWorkers(p.Cores)
+	}
 	m := &Machine{
 		K:    &sim.Kernel{},
 		P:    p,

@@ -24,17 +24,21 @@ const (
 //
 // Addressing is either static (AddrReg < 0: the effective address is
 // Addr) or register-indirect (AddrReg >= 0: the effective address is
-// Addr + (regs[AddrReg] & AddrMask)), which lets workloads express
-// pointer-chasing structures like stacks and ring-buffer queues.
+// Addr + (regs[AddrReg] & AddrMask) << AddrShift), which lets
+// workloads express pointer-chasing structures like stacks and
+// ring-buffer queues. AddrShift scales a register-held index into a
+// byte offset (shift 6 turns a word/line index into its line address);
+// zero keeps the historical byte-offset semantics.
 type Op struct {
-	Kind     OpKind
-	Addr     uint64
-	AddrReg  int
-	AddrMask uint64
-	Cycles   sim.Time
-	Dst      int
-	SrcReg   int
-	Imm      uint64
+	Kind      OpKind
+	Addr      uint64
+	AddrReg   int
+	AddrMask  uint64
+	AddrShift uint8
+	Cycles    sim.Time
+	Dst       int
+	SrcReg    int
+	Imm       uint64
 }
 
 // EffectiveAddr computes the byte address against a register file.
@@ -42,7 +46,7 @@ func (op Op) EffectiveAddr(regs *[8]uint64) uint64 {
 	if op.AddrReg < 0 {
 		return op.Addr
 	}
-	return op.Addr + (regs[op.AddrReg&7] & op.AddrMask)
+	return op.Addr + (regs[op.AddrReg&7]&op.AddrMask)<<op.AddrShift
 }
 
 // Read constructs a load of Addr into register dst.

@@ -1,0 +1,142 @@
+// Scenario-parity suite (external test package so it can pull in the
+// HTM adapter without an import cycle): every registered scenario
+// runs on BOTH backends — the cycle-level HTM simulator and the
+// real-goroutine STM runtime — and each run must satisfy the same
+// committed-state invariant (stack depth, queue occupancy, object
+// sums vs tallies). CI runs this under -race at GOMAXPROCS=1 and 4.
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/htm"
+	"txconflict/internal/rng"
+	"txconflict/internal/scenario"
+	"txconflict/internal/stm"
+	"txconflict/internal/strategy"
+	"txconflict/internal/workload"
+)
+
+// htmParity runs one scenario on the simulator and checks its
+// invariant against the drained directory image.
+func htmParity(t *testing.T, name string, pol core.Policy) {
+	t.Helper()
+	sc, err := scenario.ByName(name, scenario.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.FromScenario(sc)
+	p := htm.DefaultParams(8)
+	p.Policy = pol
+	p.Strategy = strategy.UniformRW{}
+	p.Seed = 42
+	m := htm.NewMachine(p, w)
+	cycles := uint64(300_000)
+	if testing.Short() {
+		cycles = 120_000
+	}
+	m.Run(cycles)
+	met := m.Drain()
+	if met.Commits == 0 {
+		t.Fatalf("%s/HTM: no commits", name)
+	}
+	if err := w.Check(m.Dir.ReadWord, met.PerCoreCommits); err != nil {
+		t.Fatalf("%s/HTM (%v): %v", name, pol, err)
+	}
+}
+
+// stmParity runs the same scenario as real transactions and checks
+// the same invariant against the committed arena.
+func stmParity(t *testing.T, name string, cfg stm.Config) {
+	t.Helper()
+	const workers = 4
+	sc, err := scenario.ByName(name, scenario.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := scenario.NewSTMRunner(sc, cfg)
+	d := 50 * time.Millisecond
+	if testing.Short() {
+		d = 20 * time.Millisecond
+	}
+	res := rn.Drive(workers, d, 42)
+	if res.Ops() == 0 {
+		t.Fatalf("%s/STM: no transactions completed", name)
+	}
+	if err := rn.Check(res.PerWorker); err != nil {
+		t.Fatalf("%s/STM (%s): %v", name, cfg.String(), err)
+	}
+}
+
+// TestScenarioParity is the cross-backend invariant matrix: each
+// registered scenario on the HTM simulator (requestor wins and
+// aborts) and on the STM runtime (eager and lazy locking).
+func TestScenarioParity(t *testing.T) {
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			htmParity(t, name, core.RequestorWins)
+			if !testing.Short() {
+				htmParity(t, name, core.RequestorAborts)
+			}
+			stmParity(t, name, stm.DefaultConfig())
+			if !testing.Short() {
+				lazy := stm.DefaultConfig()
+				lazy.Lazy = true
+				stmParity(t, name, lazy)
+			}
+		})
+	}
+}
+
+// TestScenarioParityKWindow exercises the windowed conflict-chain
+// estimator end to end on a contended scenario: the invariant must
+// hold and the estimator must have observed real chains.
+func TestScenarioParityKWindow(t *testing.T) {
+	cfg := stm.DefaultConfig()
+	cfg.KWindow = 32
+	sc, err := scenario.ByName("hotspot", scenario.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := scenario.NewSTMRunner(sc, cfg)
+	res := rn.Drive(4, 50*time.Millisecond, 7)
+	if err := rn.Check(res.PerWorker); err != nil {
+		t.Fatal(err)
+	}
+	if waits := rn.Runtime().Stats.GraceWaits.Load(); waits > 0 {
+		if est := rn.Runtime().KEstimate(); est < 2 {
+			t.Fatalf("KEstimate = %v after %d grace waits, want >= 2", est, waits)
+		}
+	}
+}
+
+// TestSameSeedSameprograms pins the cross-backend contract: with the
+// same seed, the scenario feeds byte-identical op streams to both
+// adapters (the HTM side is a pure compilation of the scenario
+// program).
+func TestSameSeedSamePrograms(t *testing.T) {
+	mk := func() (*scenario.Scenario, *rng.Rand) {
+		sc, err := scenario.ByName("hotspot", scenario.Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc, rng.New(99)
+	}
+	scA, rA := mk()
+	scB, rB := mk()
+	for i := 0; i < 200; i++ {
+		pa := scA.Next(i%2, rA)
+		pb := scB.Next(i%2, rB)
+		if len(pa.Ops) != len(pb.Ops) || pa.Think != pb.Think {
+			t.Fatalf("program %d shape mismatch", i)
+		}
+		for j := range pa.Ops {
+			if pa.Ops[j] != pb.Ops[j] {
+				t.Fatalf("program %d op %d mismatch: %+v vs %+v", i, j, pa.Ops[j], pb.Ops[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+)
+
+// STMRunner executes a scenario as real transactions on the
+// internal/stm runtime: the same programs the HTM simulator replays
+// become Atomic blocks over tx.Load/tx.Store, so both backends run
+// identical access patterns and verify identical invariants.
+type STMRunner struct {
+	sc *Scenario
+	rt *stm.Runtime
+}
+
+// NewSTMRunner builds a runtime sized to the scenario's arena. The
+// scenario's worker count is frozen from this point on: the arena
+// cannot grow once words are allocated.
+func NewSTMRunner(sc *Scenario, cfg stm.Config) *STMRunner {
+	return &STMRunner{sc: sc, rt: stm.New(sc.Words(), cfg)}
+}
+
+// Scenario returns the underlying scenario.
+func (rn *STMRunner) Scenario() *Scenario { return rn.sc }
+
+// Runtime exposes the underlying STM runtime (stats, config).
+func (rn *STMRunner) Runtime() *stm.Runtime { return rn.rt }
+
+// RunOne generates and commits one transaction for the given worker,
+// then burns the program's think time outside the transaction.
+// Workers must each run on their own goroutine with their own stream.
+func (rn *STMRunner) RunOne(worker int, r *rng.Rand) {
+	p := rn.sc.Next(worker, r)
+	_ = rn.rt.Atomic(r, func(tx *stm.Tx) error {
+		execProgram(tx, p.Ops)
+		return nil
+	})
+	busyWork(int(p.Think))
+}
+
+// execProgram interprets a scenario program against a transaction.
+// The register file is re-zeroed per attempt (the closure re-runs on
+// abort), mirroring the HTM core's fresh registers after restart.
+func execProgram(tx *stm.Tx, ops []Op) {
+	var regs [8]uint64
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCompute:
+			busyWork(int(op.Cycles))
+		case OpRead:
+			regs[op.Dst&7] = tx.Load(op.WordIndex(&regs))
+		case OpWrite:
+			tx.Store(op.WordIndex(&regs), op.Value(&regs))
+		}
+	}
+}
+
+// DriveResult summarizes one timed multi-worker run.
+type DriveResult struct {
+	// PerWorker counts completed transactions per worker.
+	PerWorker []uint64
+	// ElapsedSec is the measured wall-clock duration.
+	ElapsedSec float64
+}
+
+// Ops returns the total completed transactions.
+func (dr DriveResult) Ops() uint64 {
+	var total uint64
+	for _, c := range dr.PerWorker {
+		total += c
+	}
+	return total
+}
+
+// OpsPerSec returns the completed-transaction throughput.
+func (dr DriveResult) OpsPerSec() float64 {
+	if dr.ElapsedSec <= 0 {
+		return 0
+	}
+	return float64(dr.Ops()) / dr.ElapsedSec
+}
+
+// Drive hammers the scenario with the given number of worker
+// goroutines for roughly d. It panics when workers exceeds the
+// scenario's configured worker count (per-worker state cannot grow
+// mid-run).
+func (rn *STMRunner) Drive(workers int, d time.Duration, seed uint64) DriveResult {
+	if workers <= 0 || workers > rn.sc.Workers() {
+		panic(fmt.Sprintf("scenario %s: Drive with %d workers, instance sized for %d",
+			rn.sc.Name(), workers, rn.sc.Workers()))
+	}
+	root := rng.New(seed)
+	counts := make([]uint64, workers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		r := root.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rn.RunOne(w, r)
+				counts[w]++
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	return DriveResult{PerWorker: counts, ElapsedSec: time.Since(start).Seconds()}
+}
+
+// Check verifies the scenario invariant against the runtime's
+// committed state and the given per-worker completed-transaction
+// counts (as returned in DriveResult.PerWorker).
+func (rn *STMRunner) Check(perWorker []uint64) error {
+	st := &State{
+		Read:             func(word int) uint64 { return rn.rt.ReadCommitted(word) },
+		PerWorkerCommits: perWorker,
+	}
+	return rn.sc.Check(st)
+}
+
+// busyWork spins for n iterations of dependent integer work, keeping
+// the goroutine on-CPU like real computation (no sleeping).
+func busyWork(n int) {
+	x := uint64(1)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	if x == 42 {
+		panic("unreachable")
+	}
+}

@@ -123,6 +123,15 @@ type Config struct {
 	// UseMeanProfile feeds the profiled mean committed-transaction
 	// duration to the strategy.
 	UseMeanProfile bool
+	// KWindow, when > 0, enables the windowed conflict-chain
+	// estimator: the instantaneous per-conflict estimate (2 + waiters
+	// on the receiver) is fed into a ring of the last KWindow
+	// observations, and the chain length handed to the policy switch
+	// and the strategy is raised to the window's running mean when
+	// recent history shows longer chains than the instantaneous
+	// waiter count (which undercounts chains formed by transitive
+	// waiting). 0 keeps the plain 2 + waiters estimate.
+	KWindow int
 	// CleanupCost is the fixed component of the abort cost B in
 	// nanoseconds; the elapsed execution time is added per the
 	// paper's footnote 1.
@@ -160,7 +169,43 @@ func (c Config) String() string {
 	if c.Shards == 1 {
 		mode += "/flat"
 	}
+	if c.KWindow > 0 {
+		mode += fmt.Sprintf("/kw%d", c.KWindow)
+	}
 	return fmt.Sprintf("%v/%s/%s", c.Policy, name, mode)
+}
+
+// kEstimator is a lock-free ring of recent conflict-chain
+// observations. observe and estimate race benignly: the estimate is a
+// smoothing heuristic, not a correctness input, so a torn window
+// costs at most a slightly stale mean.
+type kEstimator struct {
+	ring []atomic.Int64
+	pos  atomic.Uint64
+	sum  atomic.Int64
+}
+
+func newKEstimator(window int) *kEstimator {
+	return &kEstimator{ring: make([]atomic.Int64, window)}
+}
+
+// observe records one instantaneous chain-length estimate.
+func (e *kEstimator) observe(k int) {
+	i := e.pos.Add(1) - 1
+	old := e.ring[i%uint64(len(e.ring))].Swap(int64(k))
+	e.sum.Add(int64(k) - old)
+}
+
+// estimate returns the running mean over the window (0 = no data).
+func (e *kEstimator) estimate() float64 {
+	n := e.pos.Load()
+	if n == 0 {
+		return 0
+	}
+	if n > uint64(len(e.ring)) {
+		n = uint64(len(e.ring))
+	}
+	return float64(e.sum.Load()) / float64(n)
 }
 
 // Stats aggregates runtime counters (all updated atomically).
@@ -198,6 +243,8 @@ type Runtime struct {
 	fallback sync.Mutex // serializes irrevocable transactions
 	txPool   sync.Pool  // reusable Tx descriptors (see Atomic)
 
+	kEst *kEstimator // windowed chain estimator (nil when KWindow = 0)
+
 	profBits atomic.Uint64 // float64 bits of the EWMA duration (ns)
 
 	Stats Stats
@@ -217,13 +264,27 @@ func New(n int, cfg Config) *Runtime {
 	}
 	sh = ceilPow2(sh)
 	cfg.Shards = sh // Config() reports the effective stripe count
-	return &Runtime{
+	rt := &Runtime{
 		cfg:        cfg,
 		stripeMask: sh - 1,
 		stripes:    make([]stripe, sh),
 		meta:       make([]wordMeta, n),
 		words:      make([]atomic.Uint64, n),
 	}
+	if cfg.KWindow > 0 {
+		rt.kEst = newKEstimator(cfg.KWindow)
+	}
+	return rt
+}
+
+// KEstimate returns the windowed conflict-chain estimate (the mean of
+// the last KWindow instantaneous observations); 0 when the estimator
+// is disabled or has seen no conflicts yet.
+func (rt *Runtime) KEstimate() float64 {
+	if rt.kEst == nil {
+		return 0
+	}
+	return rt.kEst.estimate()
 }
 
 // defaultShards sizes the stripe count to the machine: enough stripes

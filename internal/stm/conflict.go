@@ -51,6 +51,18 @@ func (tx *Tx) onLocked(idx int) {
 	rt.Stats.GraceWaits.Add(1)
 	k := owner.chainK()
 	defer owner.leaveChain()
+	if rt.kEst != nil {
+		// Windowed estimator (Config.KWindow): feed the instantaneous
+		// observation and raise k to the recent running mean when
+		// history shows longer chains than this receiver's waiter
+		// count alone — transitive waiters (A waits on B waits on C)
+		// never appear in C's count, so the instantaneous estimate is
+		// a lower bound.
+		rt.kEst.observe(k)
+		if est := rt.kEst.estimate(); est > float64(k) {
+			k = int(math.Round(est))
+		}
+	}
 
 	// gone reports that the attempt we are waiting on released the
 	// lock, lost it, or ended (epoch moved past st0's).

@@ -1,271 +1,167 @@
-// Package workload implements the benchmark workloads of the paper's
-// Section 8.2 as access-pattern generators for the HTM simulator:
+// Package workload adapts the unified scenario engine
+// (internal/scenario) to the HTM simulator: a scenario's
+// register-machine programs over word indices are compiled, one
+// transaction at a time, into htm.Tx op sequences with every scenario
+// word on its own cache line — so pointer contention, not false
+// sharing, dominates, as in the paper's lock-free designs.
 //
-//   - Stack: a contended stack that alternates push and pop
-//     (top-of-stack pointer plus an element array);
-//   - Queue: a contended queue that alternates enqueue and dequeue
-//     (head/tail pointers plus a ring of slots);
-//   - TxApp: the "simple transactional application" — transactions
-//     that jointly acquire and modify two out of a set of 64 objects;
-//   - Bimodal: TxApp alternating between short and very long
-//     transactions.
-//
-// Each workload carries an end-to-end verifiable invariant (stack
-// depth, queue occupancy, object sum) so that HTM integration tests
-// double as serializability checks.
+// The same scenarios run unchanged as real transactions on the STM
+// runtime via scenario.STMRunner; this package is only the simulator
+// half of that pairing. The paper's Section 8.2 benchmarks
+// (stack, queue, TxApp, bimodal) keep their historical constructors
+// here as thin wrappers over the scenario registry.
 package workload
 
 import (
+	"fmt"
+
+	"txconflict/internal/dist"
 	"txconflict/internal/htm"
 	"txconflict/internal/rng"
+	"txconflict/internal/scenario"
 	"txconflict/internal/sim"
 )
 
-// Layout constants. Pointers live on their own lines so that pointer
-// contention — not false sharing — dominates, as in the paper's
-// lock-free designs.
-const (
-	stackTopAddr  = 0     // line 0: top offset (bytes)
-	stackElemBase = 64    // element array
-	queueTailAddr = 0     // line 0
-	queueHeadAddr = 64    // line 1
-	queueSlotBase = 128   // ring of slots
-	queueRingMask = 0x1ff // 64 slots * 8 bytes - 1
-	txAppObjBase  = 0     // objects at line i
-	txAppObjects  = 64    // paper: "two out of a set of 64 objects"
-)
+// wordBytes maps a scenario word index to its byte address: each word
+// occupies its own 64-byte cache line.
+const wordBytes = 64
 
-// Stack alternates push and pop per core. The committed invariant:
-// topOffset = 8 * Σ_core (commits_core mod 2), since each core's
-// committed transactions strictly alternate push, pop, push, ...
-type Stack struct {
-	// OpCompute is the compute inside each transaction (fast-path
-	// work), in cycles.
-	OpCompute sim.Time
-	// Think is the non-transactional gap between operations.
-	Think sim.Time
+// wordShift is log2(wordBytes), the scale for register-indirect
+// addressing (registers hold word indices).
+const wordShift = 6
 
-	counts []uint64
+// HTM compiles a scenario into an htm.Workload. Per-worker scenario
+// state is sized to the machine's actual core count via the
+// EnsureWorkers hook (htm.NewMachine calls it), and overflowing the
+// configured worker range panics with a descriptive message instead
+// of silently wrapping.
+type HTM struct {
+	sc *scenario.Scenario
 }
 
-// NewStack returns a stack workload for up to 64 cores.
-func NewStack(opCompute, think sim.Time) *Stack {
-	return &Stack{OpCompute: opCompute, Think: think, counts: make([]uint64, 64)}
+// FromScenario wraps a scenario instance for the simulator.
+func FromScenario(sc *scenario.Scenario) *HTM { return &HTM{sc: sc} }
+
+// ByName instantiates a registry scenario for the simulator.
+func ByName(name string, opt scenario.Options) (*HTM, error) {
+	sc, err := scenario.ByName(name, opt)
+	if err != nil {
+		return nil, err
+	}
+	return FromScenario(sc), nil
 }
+
+// Scenario returns the wrapped scenario (for invariant checking).
+func (w *HTM) Scenario() *scenario.Scenario { return w.sc }
 
 // Name implements htm.Workload.
-func (s *Stack) Name() string { return "stack" }
+func (w *HTM) Name() string { return w.sc.Name() }
 
-// NextTx implements htm.Workload.
-func (s *Stack) NextTx(coreID int, r *rng.Rand) htm.Tx {
-	n := s.counts[coreID]
-	s.counts[coreID]++
-	if n%2 == 0 {
-		// push: r0 = top; elem[r0] = coreID; top = r0 + 8
-		return htm.Tx{
-			Ops: []htm.Op{
-				htm.Read(stackTopAddr, 0),
-				htm.Compute(s.OpCompute),
-				htm.WriteAt(stackElemBase, 0, ^uint64(0), -1, uint64(coreID)),
-				htm.Write(stackTopAddr, 0, 8),
-			},
-			ThinkTime: s.Think,
+// EnsureWorkers sizes per-core scenario state; htm.NewMachine calls
+// it with the actual core count.
+func (w *HTM) EnsureWorkers(n int) { w.sc.EnsureWorkers(n) }
+
+// NextTx implements htm.Workload: one scenario program compiled to
+// simulator ops.
+func (w *HTM) NextTx(coreID int, r *rng.Rand) htm.Tx {
+	p := w.sc.Next(coreID, r)
+	ops := make([]htm.Op, len(p.Ops))
+	for i, op := range p.Ops {
+		ops[i] = compileOp(op)
+	}
+	return htm.Tx{Ops: ops, ThinkTime: sim.Time(p.Think)}
+}
+
+// Check verifies the scenario invariant against the directory's
+// committed memory image (read is typically m.Dir.ReadWord) and the
+// per-core commit counts from the drained metrics.
+func (w *HTM) Check(read func(byteAddr uint64) uint64, perCoreCommits []uint64) error {
+	st := &scenario.State{
+		Read:             func(word int) uint64 { return read(uint64(word) * wordBytes) },
+		PerWorkerCommits: perCoreCommits,
+	}
+	return w.sc.Check(st)
+}
+
+// compileOp lowers one scenario op to a simulator op: static word
+// indices become line addresses, and register-indirect indices are
+// scaled by the word size (registers hold word indices on both
+// backends). Mask and shift are harmlessly carried on static ops too
+// — EffectiveAddr ignores them when AddrReg < 0.
+func compileOp(op scenario.Op) htm.Op {
+	switch op.Kind {
+	case scenario.OpCompute:
+		return htm.Compute(sim.Time(op.Cycles))
+	case scenario.OpRead:
+		return htm.Op{
+			Kind:      htm.OpRead,
+			Addr:      uint64(op.Word) * wordBytes,
+			AddrReg:   op.Reg,
+			AddrMask:  op.Mask,
+			AddrShift: wordShift,
+			Dst:       op.Dst,
 		}
-	}
-	// pop: r0 = top; r1 = elem[r0 - 8]; top = r0 - 8
-	return htm.Tx{
-		Ops: []htm.Op{
-			htm.Read(stackTopAddr, 0),
-			htm.Compute(s.OpCompute),
-			htm.ReadAt(stackElemBase-8, 0, ^uint64(0), 1),
-			htm.Write(stackTopAddr, 0, ^uint64(7)), // top -= 8
-		},
-		ThinkTime: s.Think,
-	}
-}
-
-// ExpectedTop returns the stack-depth invariant implied by per-core
-// commit counts.
-func ExpectedTop(perCoreCommits []uint64) uint64 {
-	var top uint64
-	for _, c := range perCoreCommits {
-		top += 8 * (c % 2)
-	}
-	return top
-}
-
-// Queue alternates enqueue and dequeue per core over a ring of
-// slots. Committed invariant: tail = 8*Σceil(c/2), head = 8*Σfloor(c/2).
-type Queue struct {
-	OpCompute sim.Time
-	Think     sim.Time
-
-	counts []uint64
-}
-
-// NewQueue returns a queue workload.
-func NewQueue(opCompute, think sim.Time) *Queue {
-	return &Queue{OpCompute: opCompute, Think: think, counts: make([]uint64, 64)}
-}
-
-// Name implements htm.Workload.
-func (q *Queue) Name() string { return "queue" }
-
-// NextTx implements htm.Workload.
-func (q *Queue) NextTx(coreID int, r *rng.Rand) htm.Tx {
-	n := q.counts[coreID]
-	q.counts[coreID]++
-	if n%2 == 0 {
-		// enqueue: r0 = tail; slot[r0 & mask] = coreID; tail = r0+8
-		return htm.Tx{
-			Ops: []htm.Op{
-				htm.Read(queueTailAddr, 0),
-				htm.Compute(q.OpCompute),
-				htm.WriteAt(queueSlotBase, 0, queueRingMask, -1, uint64(coreID)),
-				htm.Write(queueTailAddr, 0, 8),
-			},
-			ThinkTime: q.Think,
+	case scenario.OpWrite:
+		return htm.Op{
+			Kind:      htm.OpWrite,
+			Addr:      uint64(op.Word) * wordBytes,
+			AddrReg:   op.Reg,
+			AddrMask:  op.Mask,
+			AddrShift: wordShift,
+			SrcReg:    op.Src,
+			Imm:       op.Imm,
 		}
-	}
-	// dequeue: r0 = head; r1 = slot[r0 & mask]; head = r0+8
-	return htm.Tx{
-		Ops: []htm.Op{
-			htm.Read(queueHeadAddr, 0),
-			htm.Compute(q.OpCompute),
-			htm.ReadAt(queueSlotBase, 0, queueRingMask, 1),
-			htm.Write(queueHeadAddr, 0, 8),
-		},
-		ThinkTime: q.Think,
+	default:
+		panic(fmt.Sprintf("workload: unknown scenario op kind %d", op.Kind))
 	}
 }
 
-// ExpectedTailHead returns the committed queue pointers implied by
-// per-core commit counts.
-func ExpectedTailHead(perCoreCommits []uint64) (tail, head uint64) {
-	for _, c := range perCoreCommits {
-		tail += 8 * ((c + 1) / 2)
-		head += 8 * (c / 2)
+// mustScenario builds a registry scenario for the historical
+// constructors (names are compile-time constants, so failure is a
+// programming error).
+func mustScenario(name string, opt scenario.Options) *scenario.Scenario {
+	sc, err := scenario.ByName(name, opt)
+	if err != nil {
+		panic(err)
 	}
-	return
+	return sc
 }
 
-// TxApp is the paper's transactional application: each transaction
-// jointly acquires and modifies two distinct objects out of 64,
-// computing for Compute cycles in between. Committed invariant:
-// Σ objects = 2 * commits.
-type TxApp struct {
-	// Compute is the in-transaction compute sampled per transaction.
-	Compute func(r *rng.Rand) sim.Time
-	Think   sim.Time
-	// Objects overrides the object count (default 64).
-	Objects int
+// NewStack returns the paper's contended-stack workload with constant
+// compute and think times (in cycles).
+func NewStack(opCompute, think sim.Time) *HTM {
+	return FromScenario(mustScenario("stack", scenario.Options{
+		Length: dist.Constant{V: float64(opCompute)},
+		Think:  dist.Constant{V: float64(think)},
+	}))
 }
 
-// NewTxApp returns the uniform-length transactional application.
-func NewTxApp(compute sim.Time, think sim.Time) *TxApp {
-	return &TxApp{Compute: func(*rng.Rand) sim.Time { return compute }, Think: think}
+// NewQueue returns the contended ring-queue workload.
+func NewQueue(opCompute, think sim.Time) *HTM {
+	return FromScenario(mustScenario("queue", scenario.Options{
+		Length: dist.Constant{V: float64(opCompute)},
+		Think:  dist.Constant{V: float64(think)},
+	}))
 }
 
-// Name implements htm.Workload.
-func (a *TxApp) Name() string { return "txapp" }
-
-func (a *TxApp) objects() int {
-	if a.Objects > 0 {
-		return a.Objects
-	}
-	return txAppObjects
-}
-
-// NextTx implements htm.Workload.
-func (a *TxApp) NextTx(coreID int, r *rng.Rand) htm.Tx {
-	i, j := r.TwoDistinct(a.objects())
-	ai := txAppObjBase + uint64(i)*64
-	aj := txAppObjBase + uint64(j)*64
-	comp := a.Compute(r)
-	return htm.Tx{
-		Ops: []htm.Op{
-			htm.Read(ai, 0),
-			htm.Read(aj, 1),
-			htm.Compute(comp),
-			htm.Write(ai, 0, 1),
-			htm.Write(aj, 1, 1),
-		},
-		ThinkTime: a.Think,
-	}
-}
-
-// ObjectSum reads the committed object array from the directory.
-func ObjectSum(read func(addr uint64) uint64, objects int) uint64 {
-	var sum uint64
-	for i := 0; i < objects; i++ {
-		sum += read(txAppObjBase + uint64(i)*64)
-	}
-	return sum
+// NewTxApp returns the uniform-length transactional application
+// (2 objects of 64).
+func NewTxApp(compute, think sim.Time) *HTM {
+	return FromScenario(mustScenario("txapp", scenario.Options{
+		Length: dist.Constant{V: float64(compute)},
+		Think:  dist.Constant{V: float64(think)},
+	}))
 }
 
 // NewBimodal returns the bimodal transactional application:
 // transactions alternate (per draw) between short and very long
 // compute phases, the regime where hand-tuned delays lose to the
 // randomized strategy (Figure 3, bottom right).
-func NewBimodal(short, long sim.Time, pShort float64, think sim.Time) *TxApp {
-	app := &TxApp{Think: think}
-	app.Compute = func(r *rng.Rand) sim.Time {
-		if r.Bool(pShort) {
-			return short
-		}
-		return long
-	}
-	return app
-}
-
-// ReadDominated is a read-mostly workload in the spirit of the
-// read-dominated transactional workloads the paper cites
-// (Attiya–Milani): each transaction reads Reads objects and, with
-// probability PWrite, modifies one of them. Read sharing is cheap
-// (S state replicates), so conflicts are rarer but writer
-// transactions invalidate many transactional readers at once —
-// long-chain territory where the requestor-wins strategies shine.
-type ReadDominated struct {
-	Objects int
-	Reads   int
-	PWrite  float64
-	Compute sim.Time
-	Think   sim.Time
-}
-
-// NewReadDominated returns a read-mostly workload over 64 objects.
-func NewReadDominated(reads int, pWrite float64, compute, think sim.Time) *ReadDominated {
-	return &ReadDominated{Objects: 64, Reads: reads, PWrite: pWrite, Compute: compute, Think: think}
-}
-
-// Name implements htm.Workload.
-func (w *ReadDominated) Name() string { return "readdom" }
-
-// NextTx implements htm.Workload.
-func (w *ReadDominated) NextTx(coreID int, r *rng.Rand) htm.Tx {
-	n := w.Reads
-	if n < 1 {
-		n = 1
-	}
-	ops := make([]htm.Op, 0, n+2)
-	seen := make(map[int]bool, n)
-	first := -1
-	for i := 0; i < n; i++ {
-		obj := r.Intn(w.Objects)
-		if seen[obj] {
-			continue
-		}
-		seen[obj] = true
-		if first < 0 {
-			first = obj
-		}
-		ops = append(ops, htm.Read(uint64(obj)*64, i&3))
-	}
-	ops = append(ops, htm.Compute(w.Compute))
-	if r.Bool(w.PWrite) && first >= 0 {
-		ops = append(ops, htm.Write(uint64(first)*64, 0, 1))
-	}
-	return htm.Tx{Ops: ops, ThinkTime: w.Think}
+func NewBimodal(short, long sim.Time, pShort float64, think sim.Time) *HTM {
+	return FromScenario(mustScenario("bimodal", scenario.Options{
+		Length: dist.Bimodal{Short: float64(short), Long: float64(long), PShort: pShort},
+		Think:  dist.Constant{V: float64(think)},
+	}))
 }
 
 // TunedDelay estimates the hand-tuned grace period for a workload:

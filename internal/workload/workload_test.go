@@ -1,15 +1,18 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	ccore "txconflict/internal/core"
+	"txconflict/internal/dist"
 	"txconflict/internal/htm"
 	"txconflict/internal/rng"
+	"txconflict/internal/scenario"
 	"txconflict/internal/strategy"
 )
 
-func runWorkload(t *testing.T, w htm.Workload, cores int, pol ccore.Policy, s ccore.Strategy, cycles uint64) (*htm.Machine, htm.Metrics) {
+func runWorkload(t *testing.T, w *HTM, cores int, pol ccore.Policy, s ccore.Strategy, cycles uint64) (*htm.Machine, htm.Metrics) {
 	t.Helper()
 	p := htm.DefaultParams(cores)
 	p.Policy = pol
@@ -24,71 +27,56 @@ func runWorkload(t *testing.T, w htm.Workload, cores int, pol ccore.Policy, s cc
 	return m, met
 }
 
+// checkInvariant runs the workload and verifies the scenario's
+// committed-state invariant against the drained directory image.
+func checkInvariant(t *testing.T, w *HTM, pol ccore.Policy, s ccore.Strategy, cycles uint64) {
+	t.Helper()
+	m, met := runWorkload(t, w, 8, pol, s, cycles)
+	if err := w.Check(m.Dir.ReadWord, met.PerCoreCommits); err != nil {
+		t.Fatalf("%v: %v", pol, err)
+	}
+}
+
 func TestStackInvariant(t *testing.T) {
 	for _, pol := range []ccore.Policy{ccore.RequestorWins, ccore.RequestorAborts} {
-		w := NewStack(15, 10)
-		m, met := runWorkload(t, w, 8, pol, strategy.UniformRW{}, 400000)
-		top := m.Dir.ReadWord(stackTopAddr)
-		if want := ExpectedTop(met.PerCoreCommits); top != want {
-			t.Fatalf("%v: top offset %d, want %d (commits %v)", pol, top, want, met.PerCoreCommits)
-		}
+		checkInvariant(t, NewStack(15, 10), pol, strategy.UniformRW{}, 400000)
 	}
 }
 
 func TestStackPushPopAlternation(t *testing.T) {
 	w := NewStack(5, 5)
 	r := rng.New(1)
-	// Core 0's stream must alternate push (4 ops ending in +8 write)
-	// and pop (ending in -8 write).
+	// Core 0's stream must alternate push (ending in a +1 write to the
+	// depth word) and pop (ending in a -1 write).
 	tx1 := w.NextTx(0, r)
 	tx2 := w.NextTx(0, r)
-	if tx1.Ops[3].Imm != 8 {
+	if tx1.Ops[3].Imm != 1 {
 		t.Fatal("first tx is not a push")
 	}
-	if tx2.Ops[3].Imm != ^uint64(7) {
+	if tx2.Ops[3].Imm != ^uint64(0) {
 		t.Fatal("second tx is not a pop")
 	}
 	// Other cores have independent parity.
 	tx3 := w.NextTx(1, r)
-	if tx3.Ops[3].Imm != 8 {
+	if tx3.Ops[3].Imm != 1 {
 		t.Fatal("core 1 first tx is not a push")
 	}
 }
 
 func TestQueueInvariant(t *testing.T) {
 	for _, pol := range []ccore.Policy{ccore.RequestorWins, ccore.RequestorAborts} {
-		w := NewQueue(15, 10)
-		m, met := runWorkload(t, w, 8, pol, strategy.UniformRW{}, 400000)
-		tail := m.Dir.ReadWord(queueTailAddr)
-		head := m.Dir.ReadWord(queueHeadAddr)
-		wantTail, wantHead := ExpectedTailHead(met.PerCoreCommits)
-		if tail != wantTail || head != wantHead {
-			t.Fatalf("%v: tail/head = %d/%d, want %d/%d", pol, tail, head, wantTail, wantHead)
-		}
-		if head > tail {
-			t.Fatalf("queue head %d beyond tail %d", head, tail)
-		}
+		checkInvariant(t, NewQueue(15, 10), pol, strategy.UniformRW{}, 400000)
 	}
 }
 
 func TestTxAppInvariant(t *testing.T) {
 	for _, pol := range []ccore.Policy{ccore.RequestorWins, ccore.RequestorAborts} {
-		w := NewTxApp(40, 10)
-		m, met := runWorkload(t, w, 8, pol, strategy.UniformRW{}, 400000)
-		sum := ObjectSum(m.Dir.ReadWord, txAppObjects)
-		if sum != 2*met.Commits {
-			t.Fatalf("%v: object sum %d, want %d", pol, sum, 2*met.Commits)
-		}
+		checkInvariant(t, NewTxApp(40, 10), pol, strategy.UniformRW{}, 400000)
 	}
 }
 
 func TestBimodalInvariant(t *testing.T) {
-	w := NewBimodal(50, 5000, 0.5, 10)
-	m, met := runWorkload(t, w, 8, ccore.RequestorWins, strategy.UniformRW{}, 1500000)
-	sum := ObjectSum(m.Dir.ReadWord, txAppObjects)
-	if sum != 2*met.Commits {
-		t.Fatalf("object sum %d, want %d", sum, 2*met.Commits)
-	}
+	checkInvariant(t, NewBimodal(50, 5000, 0.5, 10), ccore.RequestorWins, strategy.UniformRW{}, 1500000)
 }
 
 func TestBimodalMixesLengths(t *testing.T) {
@@ -136,31 +124,85 @@ func TestTunedDelayPlausible(t *testing.T) {
 	}
 }
 
-func TestExpectedHelpers(t *testing.T) {
-	if got := ExpectedTop([]uint64{2, 3, 5}); got != 16 {
-		t.Fatalf("ExpectedTop = %d, want 16", got)
-	}
-	tail, head := ExpectedTailHead([]uint64{2, 3})
-	if tail != 8*(1+2) || head != 8*(1+1) {
-		t.Fatalf("ExpectedTailHead = %d,%d", tail, head)
-	}
-}
-
 func TestWorkloadNames(t *testing.T) {
 	if NewStack(1, 1).Name() != "stack" ||
 		NewQueue(1, 1).Name() != "queue" ||
-		NewTxApp(1, 1).Name() != "txapp" {
+		NewTxApp(1, 1).Name() != "txapp" ||
+		NewBimodal(1, 2, 0.5, 1).Name() != "bimodal" {
 		t.Fatal("workload names wrong")
 	}
 }
 
 func TestStackUnderNoDelay(t *testing.T) {
 	// The NO_DELAY baseline must also preserve the invariant.
-	w := NewStack(15, 10)
-	m, met := runWorkload(t, w, 8, ccore.RequestorWins, nil, 400000)
-	top := m.Dir.ReadWord(stackTopAddr)
-	if want := ExpectedTop(met.PerCoreCommits); top != want {
-		t.Fatalf("NO_DELAY: top %d, want %d", top, want)
+	checkInvariant(t, NewStack(15, 10), ccore.RequestorWins, nil, 400000)
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("nope", scenario.Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("err = %v, want unknown-scenario error", err)
+	}
+}
+
+// TestCompileIndirectAddressing checks that register-indirect scenario
+// ops land on per-word cache lines: the stack push's element store
+// must address elemBase + depth*64 bytes.
+func TestCompileIndirectAddressing(t *testing.T) {
+	w := NewStack(5, 5)
+	r := rng.New(1)
+	tx := w.NextTx(0, r) // push
+	st := tx.Ops[2]      // StoreAt(1, r0, ...)
+	if st.Kind != htm.OpWrite || st.AddrReg != 0 || st.AddrShift != 6 {
+		t.Fatalf("element store not compiled as shifted indirect: %+v", st)
+	}
+	regs := [8]uint64{3} // depth 3
+	if got, want := st.EffectiveAddr(&regs), uint64((1+3)*64); got != want {
+		t.Fatalf("effective addr %d, want %d", got, want)
+	}
+}
+
+// TestEnsureWorkersFromMachine checks satellite fix #1: the machine
+// sizes per-core scenario state from its actual core count, and
+// overflowing the configured range panics with a clear message
+// instead of silently wrapping or out-of-ranging.
+func TestEnsureWorkersFromMachine(t *testing.T) {
+	sc, err := scenario.ByName("stack", scenario.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FromScenario(sc)
+	p := htm.DefaultParams(8)
+	htm.NewMachine(p, w) // must grow the 2-worker instance to 8 cores
+	r := rng.New(1)
+	for core := 0; core < 8; core++ {
+		w.NextTx(core, r)
+	}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected panic for out-of-range worker")
+		}
+		if msg, ok := rec.(string); !ok || !strings.Contains(msg, "out of range") {
+			t.Fatalf("panic = %v, want out-of-range message", rec)
+		}
+	}()
+	w.NextTx(8, r)
+}
+
+// TestDistOverride checks that the -dist plumbing reaches the
+// compiled programs: a constant override pins every compute op.
+func TestDistOverride(t *testing.T) {
+	w, err := ByName("txapp", scenario.Options{Length: dist.Constant{V: 123}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for i := 0; i < 50; i++ {
+		tx := w.NextTx(0, r)
+		if tx.Ops[2].Cycles != 123 {
+			t.Fatalf("compute = %d, want 123", tx.Ops[2].Cycles)
+		}
 	}
 }
 
@@ -170,54 +212,4 @@ func BenchmarkStackSimulation(b *testing.B) {
 	m := htm.NewMachine(p, NewStack(15, 10))
 	b.ResetTimer()
 	m.Run(uint64(b.N) * 100)
-}
-
-func TestReadDominatedInvariant(t *testing.T) {
-	w := NewReadDominated(6, 0.2, 20, 10)
-	m, met := runWorkload(t, w, 8, ccore.RequestorWins, strategy.UniformRW{}, 400000)
-	// Writers increment only object values; no structural invariant
-	// beyond serializability, which the coherence checker plus commit
-	// accounting cover.
-	if err := m.Dir.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
-	if met.Commits == 0 {
-		t.Fatal("no commits")
-	}
-}
-
-func TestReadDominatedMostlyReads(t *testing.T) {
-	w := NewReadDominated(6, 0.2, 20, 10)
-	r := rng.New(3)
-	writes, total := 0, 0
-	for i := 0; i < 2000; i++ {
-		tx := w.NextTx(0, r)
-		total++
-		for _, op := range tx.Ops {
-			if op.Kind == htm.OpWrite {
-				writes++
-			}
-		}
-	}
-	frac := float64(writes) / float64(total)
-	if frac < 0.1 || frac > 0.3 {
-		t.Fatalf("write fraction %v, want ~0.2", frac)
-	}
-}
-
-func TestReadDominatedDistinctReads(t *testing.T) {
-	w := NewReadDominated(8, 0, 5, 5)
-	r := rng.New(4)
-	for i := 0; i < 500; i++ {
-		tx := w.NextTx(0, r)
-		seen := map[uint64]bool{}
-		for _, op := range tx.Ops {
-			if op.Kind == htm.OpRead {
-				if seen[op.Addr] {
-					t.Fatal("duplicate read address in one tx")
-				}
-				seen[op.Addr] = true
-			}
-		}
-	}
 }

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short scenario-parity bench bench-stm tidy
+.PHONY: all build vet test race-short scenario-parity bench bench-stm trace-demo tidy
 
 all: build vet test
 
@@ -19,9 +19,10 @@ test:
 # Race-detector pass over the runtimes with real concurrency
 # (internal/stm: goroutine STM; internal/htm: simulator driven from
 # worker goroutines; internal/scenario: the cross-backend parity
-# suite). -short keeps it inside CI budgets.
+# suite; internal/trace + internal/experiments: recorded runs and the
+# trace-fidelity loop). -short keeps it inside CI budgets.
 race-short:
-	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/
+	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/ ./internal/trace/ ./internal/experiments/
 
 # Cross-backend scenario parity: every registry scenario on both the
 # HTM simulator and the STM runtime, invariants verified, under the
@@ -37,6 +38,18 @@ bench:
 # this as a non-blocking step so the perf history starts recording.
 bench-stm:
 	$(GO) run ./cmd/stmbench -perf -out BENCH_stm.json
+
+# The Section 1 profile-to-simulation loop, end to end: record a
+# short contended hotspot run on the STM runtime, replay the
+# identical footprints on the HTM simulator and on a fresh STM arena,
+# and diff recorded vs simulated vs re-measured behaviour. CI runs
+# this and uploads $(TRACE_FILE) as a build artifact.
+TRACE_FILE ?= demo.trace
+trace-demo:
+	$(GO) run ./cmd/stmbench -scenario hotspot -duration 200ms -record $(TRACE_FILE)
+	$(GO) run ./cmd/txsim -replay $(TRACE_FILE) -threads 1,2,4 -cycles 300000
+	$(GO) run ./cmd/stmbench -replay $(TRACE_FILE) -goroutines 1,2 -duration 100ms
+	$(GO) run ./cmd/stmbench -fidelity $(TRACE_FILE) -duration 100ms
 
 tidy:
 	$(GO) mod tidy

@@ -122,6 +122,30 @@ func main() {
 		stmTabs = append(stmTabs, t)
 	}
 	save("stm.txt", stmTabs...)
+
+	// E17: the Section 1 profile-to-simulation loop — record a real
+	// hotspot run on the STM runtime, replay its exact footprints on
+	// the HTM simulator and a fresh STM arena, compare.
+	recDur := 300 * time.Millisecond
+	fidCycles := uint64(1_000_000)
+	if *quick {
+		recDur = 80 * time.Millisecond
+		fidCycles = 200_000
+	}
+	tr, err := experiments.RecordTrace("hotspot", stmCfg, 4, recDur)
+	if err != nil {
+		fatal(err)
+	}
+	fid, err := experiments.TraceFidelity(tr, experiments.FidelityConfig{
+		Cycles:   fidCycles,
+		Duration: recDur,
+		Seed:     *seed,
+		STM:      stmCfg, // same runtime mode as the recorded run
+	})
+	if err != nil {
+		fatal(err)
+	}
+	save("tracefidelity.txt", fid)
 }
 
 func corollary1(ntx int, r *rng.Rand) *report.Table {

@@ -16,6 +16,13 @@
 //	stmbench -scenario txapp -kwindow 64     # windowed chain estimator
 //	stmbench -ablate -scenario txapp         # runtime design ablations
 //	stmbench -perf -out BENCH_stm.json       # CI perf snapshot
+//
+// Trace capture and replay (internal/trace — the Section 1
+// profile-to-simulation loop):
+//
+//	stmbench -scenario hotspot -record run.trace   # record a real run
+//	stmbench -replay run.trace                     # replay it as a scenario
+//	stmbench -fidelity run.trace                   # recorded vs sim vs replayed
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +40,7 @@ import (
 	"txconflict/internal/experiments"
 	"txconflict/internal/report"
 	"txconflict/internal/scenario"
+	"txconflict/internal/trace"
 )
 
 func main() {
@@ -39,7 +48,7 @@ func main() {
 		scen     = flag.String("scenario", "", "scenario from the shared registry (or 'all', 'list'); see internal/scenario")
 		bench    = flag.String("bench", "all", "deprecated alias for -scenario")
 		distName = flag.String("dist", "", "override the transaction-length distribution (see internal/dist; '' = scenario default)")
-		mu       = flag.Float64("mu", 60, "mean of the -dist override, in busy-work iterations")
+		mu       = flag.Float64("mu", 60, "mean of the -dist override, in busy-work iterations (0 replays a registered trace:<key> distribution raw)")
 		levels   = flag.String("goroutines", "", "comma-separated goroutine counts (default: powers of two up to GOMAXPROCS)")
 		dur      = flag.Duration("duration", 300*time.Millisecond, "measurement duration per cell")
 		policy   = flag.String("policy", "rw", "conflict policy: rw or ra")
@@ -51,6 +60,9 @@ func main() {
 		ablate   = flag.Bool("ablate", false, "run the STM design ablations instead of the strategy sweep (baseline pinned: -policy/-lazy/-shards/-kwindow ignored)")
 		perf     = flag.Bool("perf", false, "emit the JSON perf snapshot (commits/sec at 1/4/8 procs plus the per-scenario sweep)")
 		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
+		record   = flag.String("record", "", "record a trace of the scenario run to this file (see internal/trace)")
+		replay   = flag.String("replay", "", "replay a recorded trace file as the benchmark scenario")
+		fidelity = flag.String("fidelity", "", "emit the sim-vs-real fidelity report for a recorded trace file")
 	)
 	flag.Parse()
 
@@ -65,6 +77,13 @@ func main() {
 		return
 	}
 
+	if *replay != "" {
+		// The loaded trace becomes a first-class registry scenario (and
+		// its profiled distributions join the dist catalog), so the
+		// normal sweep below runs it like any built-in.
+		sel = loadReplay(*replay)
+	}
+
 	cfg := experiments.DefaultSTMConfig()
 	cfg.Duration = *dur
 	cfg.Seed = *seed
@@ -77,10 +96,16 @@ func main() {
 	if *distName != "" {
 		smp, err := dist.ByName(*distName, *mu)
 		if err != nil {
+			// The error already carries the sorted registered names.
 			fmt.Fprintln(os.Stderr, "stmbench:", err)
 			os.Exit(2)
 		}
 		cfg.Length = smp
+	}
+	if sel != "all" && !scenario.Known(sel) {
+		fmt.Fprintf(os.Stderr, "stmbench: unknown scenario %q; registered scenarios: %s\n",
+			sel, strings.Join(scenario.Names(), ", "))
+		os.Exit(2)
 	}
 	if *levels != "" {
 		var gs []int
@@ -95,6 +120,14 @@ func main() {
 		cfg.Goroutines = gs
 	}
 
+	if *fidelity != "" {
+		runFidelity(*fidelity, cfg)
+		return
+	}
+	if *record != "" {
+		runRecord(sel, *record, cfg)
+		return
+	}
 	if *perf {
 		runPerf(sel, cfg, *levels != "", *out)
 		return
@@ -138,6 +171,78 @@ func maxLevel(levels []int) int {
 		}
 	}
 	return m
+}
+
+// loadReplay loads a recorded trace, registers its replay in the
+// scenario catalog (as "replay:<filename>") and its profiled
+// length/think distributions in the dist catalog, and returns the
+// registered scenario name.
+func loadReplay(path string) string {
+	tr, err := trace.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
+	name := "replay:" + filepath.Base(path)
+	if err := trace.RegisterScenario(name, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
+	if _, _, err := trace.NewProfile(tr).RegisterSamplers(filepath.Base(path)); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("replaying %s: scenario %q (%d committed records; -dist trace:%s -mu 0 for its raw lengths)\n",
+		path, name, tr.Commits(), filepath.Base(path))
+	return name
+}
+
+// runRecord records one STM run of the selected scenario at the
+// highest configured goroutine level, saves the trace, and prints its
+// profile.
+func runRecord(bench, path string, cfg experiments.STMConfig) {
+	if bench == "all" {
+		bench = "hotspot" // the contended default worth profiling
+	}
+	workers := maxLevel(cfg.Goroutines)
+	tr, err := experiments.RecordTrace(bench, cfg, workers, cfg.Duration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	if err := trace.Save(path, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	if err := trace.NewProfile(tr).Table().WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d records, %d committed, %d workers)\n",
+		path, len(tr.Records), tr.Commits(), tr.Workers)
+}
+
+// runFidelity replays a recorded trace on both backends and prints
+// the recorded-vs-simulated-vs-measured comparison.
+func runFidelity(path string, cfg experiments.STMConfig) {
+	tr, err := trace.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
+	tab, err := experiments.TraceFidelity(tr, experiments.FidelityConfig{
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+		STM:      cfg, // honor -policy/-lazy/-shards/-kwindow on the replay runtime
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	if err := tab.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
 }
 
 // runPerf emits the machine-readable perf snapshot for CI

@@ -16,12 +16,14 @@
 //	txsim -scenario txapp -policy ra        # requestor-aborts HTM
 //	txsim -scenario txapp -dist pareto -mu 80  # heavy-tailed lengths
 //	txsim -scenario stack -detail 8         # per-cell metrics at 8 threads
+//	txsim -replay run.trace                 # replay an stmbench -record file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -31,6 +33,7 @@ import (
 	"txconflict/internal/report"
 	"txconflict/internal/scenario"
 	"txconflict/internal/strategy"
+	"txconflict/internal/trace"
 )
 
 func parseThreads(s string) ([]int, error) {
@@ -50,7 +53,7 @@ func main() {
 		scen     = flag.String("scenario", "", "scenario from the shared registry (or 'all', 'list'); see internal/scenario")
 		bench    = flag.String("bench", "all", "deprecated alias for -scenario")
 		distName = flag.String("dist", "", "override the transaction-length distribution (see internal/dist; '' = scenario default)")
-		mu       = flag.Float64("mu", 60, "mean of the -dist override, in cycles")
+		mu       = flag.Float64("mu", 60, "mean of the -dist override, in cycles (0 replays a registered trace:<key> distribution raw)")
 		threads  = flag.String("threads", "1,2,4,8,12,16", "comma-separated core counts")
 		cycles   = flag.Uint64("cycles", 2_000_000, "simulated cycles per cell")
 		policy   = flag.String("policy", "rw", "conflict policy: rw or ra")
@@ -58,6 +61,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of text")
 		detail   = flag.Int("detail", 0, "print detailed metrics for this thread count instead of the sweep")
 		ablate   = flag.Int("ablate", 0, "run the design-choice ablations at this thread count instead of the sweep")
+		replay   = flag.String("replay", "", "replay a recorded trace file (stmbench -record) as the simulated workload")
 	)
 	flag.Parse()
 
@@ -70,6 +74,27 @@ func main() {
 			fmt.Println(line)
 		}
 		return
+	}
+
+	if *replay != "" {
+		// The recorded footprints become a registry scenario, so the
+		// Figure 3 sweep below replays them like any built-in workload.
+		tr, err := trace.Load(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txsim:", err)
+			os.Exit(2)
+		}
+		sel = "replay:" + filepath.Base(*replay)
+		if err := trace.RegisterScenario(sel, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "txsim:", err)
+			os.Exit(2)
+		}
+		if _, _, err := trace.NewProfile(tr).RegisterSamplers(filepath.Base(*replay)); err != nil {
+			fmt.Fprintln(os.Stderr, "txsim:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("replaying %s: scenario %q (%d committed records; -dist trace:%s -mu 0 for its raw lengths)\n",
+			*replay, sel, tr.Commits(), filepath.Base(*replay))
 	}
 
 	ths, err := parseThreads(*threads)
@@ -85,10 +110,16 @@ func main() {
 	if *distName != "" {
 		smp, err := dist.ByName(*distName, *mu)
 		if err != nil {
+			// The error already carries the sorted registered names.
 			fmt.Fprintln(os.Stderr, "txsim:", err)
 			os.Exit(2)
 		}
 		cfg.Length = smp
+	}
+	if sel != "all" && !scenario.Known(sel) {
+		fmt.Fprintf(os.Stderr, "txsim: unknown scenario %q; registered scenarios: %s\n",
+			sel, strings.Join(scenario.Names(), ", "))
+		os.Exit(2)
 	}
 
 	benches := []string{sel}

@@ -28,7 +28,17 @@
 // -scenario/-dist, and every run is checked against its scenario's
 // invariant end to end.
 //
+// The internal/trace subsystem closes the Section 1 profile-to-
+// simulation loop: a per-worker recorder hooks into the STM runtime
+// (stm.Config.Trace) and captures one record per atomic block —
+// footprints, retries, kills, grace waits, timings — into a
+// versioned on-disk format; profiles convert to dist.Empirical
+// samplers in the catalog (trace:<key>), and replays re-issue the
+// recorded footprints as first-class scenarios on both backends
+// (stmbench -record/-replay/-fidelity, txsim -replay,
+// experiments.TraceFidelity).
+//
 // Harnesses regenerating every figure of the paper's evaluation live
 // in internal/synth, internal/adversary and internal/experiments;
-// see bench_test.go, cmd/ and EXPERIMENTS.md.
+// see bench_test.go, cmd/, internal/README.md and EXPERIMENTS.md.
 package txconflict

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"txconflict/internal/rng"
+)
+
+// goldenEmpiricalTrace is the fixed sample set behind the Empirical
+// golden fingerprint: a spread of short, medium and heavy-tailed
+// values, including repeats (repeats must not bias the draw).
+var goldenEmpiricalTrace = []float64{
+	3, 3, 7, 12, 12, 12, 25, 40, 61, 88, 130, 200, 450, 450, 1024, 5000,
+}
+
+// goldenEmpiricalFP pins the exact draw sequence of Empirical over
+// goldenEmpiricalTrace at seed 1 (1000 draws, FNV-1a over float64
+// bits — same scheme as goldenFingerprints). Recorded once from the
+// reference run; a drift here means every replayed trace in the
+// repository silently changes.
+const goldenEmpiricalFP uint64 = 0xd8e8ad3eae4d4dcf
+
+// TestEmpiricalGoldenDeterminism locks the Empirical sampler's
+// reproducibility contract, matching the golden coverage the other
+// sampler families got in PR 1.
+func TestEmpiricalGoldenDeterminism(t *testing.T) {
+	draws := func(seed uint64, n int) []float64 {
+		e := NewEmpirical("golden", goldenEmpiricalTrace)
+		r := rng.New(seed)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = e.Sample(r)
+		}
+		return out
+	}
+	a, b := draws(2024, 1000), draws(2024, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if got := fingerprint(draws(1, 1000)); got != goldenEmpiricalFP {
+		t.Errorf("fingerprint %#x, golden %#x — Empirical draw sequence drifted", got, goldenEmpiricalFP)
+	}
+}
+
+// TestEmpiricalMeanConvergence is the property test: for random
+// traces, the empirical mean of a large sample converges to the trace
+// mean (the contract profilers rely on when a recorded trace is fed
+// back through the mean-constrained strategies).
+func TestEmpiricalMeanConvergence(t *testing.T) {
+	root := rng.New(99)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + root.Intn(500)
+		traceVals := make([]float64, n)
+		sum := 0.0
+		for i := range traceVals {
+			traceVals[i] = root.Range(0.5, 2000)
+			sum += traceVals[i]
+		}
+		e := NewEmpirical("prop", traceVals)
+		if want := sum / float64(n); math.Abs(e.Mean()-want) > 1e-9*want {
+			t.Fatalf("trial %d: Mean() = %v, want %v", trial, e.Mean(), want)
+		}
+		r := root.Split()
+		const draws = 200_000
+		var acc float64
+		for i := 0; i < draws; i++ {
+			acc += e.Sample(r)
+		}
+		emp := acc / draws
+		// Uniform resampling of n values with bounded range: the
+		// standard error at 200k draws is far below 2% of the mean.
+		if rel := math.Abs(emp-e.Mean()) / e.Mean(); rel > 0.02 {
+			t.Errorf("trial %d (n=%d): sampled mean %v vs trace mean %v (rel err %.4f)",
+				trial, n, emp, e.Mean(), rel)
+		}
+	}
+}
+
+// TestDistRegisterCatalog covers the dynamic half of the ByName
+// catalog (recorded-trace samplers register as "trace:<key>").
+func TestDistRegisterCatalog(t *testing.T) {
+	samples := []float64{5, 15}
+	if err := Register("Trace:Reg-Test", func(mu float64) Sampler {
+		if mu <= 0 {
+			return NewEmpirical("trace:reg-test", samples)
+		}
+		return Constant{V: mu}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ByName("trace:reg-test", 0)
+	if err != nil || raw.Mean() != 10 {
+		t.Fatalf("registered sampler: mean %v, err %v", raw.Mean(), err)
+	}
+	scaled, err := ByName(" TRACE:REG-TEST ", 42)
+	if err != nil || scaled.Mean() != 42 {
+		t.Fatalf("mu-parameterized lookup: mean %v, err %v", scaled.Mean(), err)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "trace:reg-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered name missing from Names(): %v", Names())
+	}
+	if err := Register("trace:reg-test", func(float64) Sampler { return Constant{V: 1} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register("exponential", func(float64) Sampler { return Constant{V: 1} }); err == nil {
+		t.Fatal("shadowing a built-in was accepted")
+	}
+	if err := Register("  ", func(float64) Sampler { return Constant{V: 1} }); err == nil {
+		t.Fatal("blank name accepted")
+	}
+	if err := Register("x", nil); err == nil {
+		t.Fatal("nil builder accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"txconflict/internal/rng"
 )
@@ -59,20 +60,60 @@ func BuiltinTrace(mu float64) *Empirical {
 	return NewEmpirical("trace", trace)
 }
 
-// builders maps CLI names to mean-parameterized constructors.
-var builders = map[string]func(mu float64) Sampler{
-	"constant":    func(mu float64) Sampler { return Constant{V: mu} },
-	"uniform":     func(mu float64) Sampler { return UniformMean(mu) },
-	"exponential": func(mu float64) Sampler { return Exponential{Mu: mu} },
-	"lognormal":   func(mu float64) Sampler { return LognormalMean(mu, 0.75) },
-	"bimodal":     func(mu float64) Sampler { return BimodalMean(mu) },
-	"pareto":      func(mu float64) Sampler { return ParetoMean(mu, 2.5) },
-	"zipf":        func(mu float64) Sampler { return ZipfMean(mu, 64, 1.2) },
-	"trace":       func(mu float64) Sampler { return BuiltinTrace(mu) },
+// builders maps CLI names to mean-parameterized constructors. The
+// static entries below are the built-in catalog; Register adds
+// runtime entries (recorded-trace samplers use "trace:<key>" names).
+// builderMu guards the map against concurrent Register/ByName.
+var (
+	builderMu sync.RWMutex
+	builders  = map[string]func(mu float64) Sampler{
+		"constant":    func(mu float64) Sampler { return Constant{V: mu} },
+		"uniform":     func(mu float64) Sampler { return UniformMean(mu) },
+		"exponential": func(mu float64) Sampler { return Exponential{Mu: mu} },
+		"lognormal":   func(mu float64) Sampler { return LognormalMean(mu, 0.75) },
+		"bimodal":     func(mu float64) Sampler { return BimodalMean(mu) },
+		"pareto":      func(mu float64) Sampler { return ParetoMean(mu, 2.5) },
+		"zipf":        func(mu float64) Sampler { return ZipfMean(mu, 64, 1.2) },
+		"trace":       func(mu float64) Sampler { return BuiltinTrace(mu) },
+	}
+)
+
+// Register adds a named constructor to the ByName catalog (names are
+// folded to lower case, matching lookup). The builder receives the
+// requested mean mu; by convention mu <= 0 asks for the sampler's
+// natural parameterization (recorded-trace samplers return the raw
+// trace). Registering an empty or already-taken name is an error —
+// built-in names cannot be shadowed.
+func Register(name string, build func(mu float64) Sampler) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		return fmt.Errorf("dist: cannot register an empty distribution name")
+	}
+	if build == nil {
+		return fmt.Errorf("dist: nil builder for %q", key)
+	}
+	builderMu.Lock()
+	defer builderMu.Unlock()
+	if _, dup := builders[key]; dup {
+		return fmt.Errorf("dist: distribution %q already registered", key)
+	}
+	builders[key] = build
+	return nil
+}
+
+// Known reports whether ByName would accept the name (same
+// lowercase/trim folding), without building the sampler.
+func Known(name string) bool {
+	builderMu.RLock()
+	defer builderMu.RUnlock()
+	_, ok := builders[strings.ToLower(strings.TrimSpace(name))]
+	return ok
 }
 
 // Names returns the sorted distribution names ByName accepts.
 func Names() []string {
+	builderMu.RLock()
+	defer builderMu.RUnlock()
 	names := make([]string, 0, len(builders))
 	for n := range builders {
 		names = append(names, n)
@@ -84,9 +125,11 @@ func Names() []string {
 // ByName returns the named distribution parameterized to mean mu.
 // Names are the lower-case Name() strings of the suite samplers
 // ("constant", "uniform", "exponential", "lognormal", "bimodal",
-// "pareto", "zipf", "trace").
+// "pareto", "zipf", "trace") plus any Register-ed entries.
 func ByName(name string, mu float64) (Sampler, error) {
+	builderMu.RLock()
 	b, ok := builders[strings.ToLower(strings.TrimSpace(name))]
+	builderMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("dist: unknown distribution %q (have %s)",
 			name, strings.Join(Names(), ", "))

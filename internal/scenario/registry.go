@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"txconflict/internal/dist"
 	"txconflict/internal/rng"
@@ -29,19 +30,70 @@ type def struct {
 	build func(opt Options) *Scenario
 }
 
-// defs is the scenario catalog. Names are stable CLI identifiers.
-var defs = []def{
-	{"stack", "contended stack: per-worker alternating push/pop on a shared top pointer", newStack},
-	{"queue", "contended ring queue: per-worker alternating enqueue/dequeue on head/tail", newQueue},
-	{"txapp", "transactional application: increment 2 uniform-random objects of 64", newTxApp},
-	{"bimodal", "txapp alternating short and very long transactions", newBimodal},
-	{"readmostly", "read 6 objects, write one with p=0.2 (per-worker tally invariant)", newReadMostly},
-	{"longreader", "worker 0 scans all 64 objects while the rest do short increments", newLongReader},
-	{"hotspot", "txapp with zipf-skewed object choice and pareto-tailed lengths", newHotspot},
+// defs is the scenario catalog: the static built-ins below plus any
+// Register-ed entries (trace replays register as "replay:<name>").
+// Names are stable CLI identifiers; defsMu guards the slice against
+// concurrent Register/ByName.
+var (
+	defsMu sync.RWMutex
+	defs   = []def{
+		{"stack", "contended stack: per-worker alternating push/pop on a shared top pointer", newStack},
+		{"queue", "contended ring queue: per-worker alternating enqueue/dequeue on head/tail", newQueue},
+		{"txapp", "transactional application: increment 2 uniform-random objects of 64", newTxApp},
+		{"bimodal", "txapp alternating short and very long transactions", newBimodal},
+		{"readmostly", "read 6 objects, write one with p=0.2 (per-worker tally invariant)", newReadMostly},
+		{"longreader", "worker 0 scans all 64 objects while the rest do short increments", newLongReader},
+		{"hotspot", "txapp with zipf-skewed object choice and pareto-tailed lengths", newHotspot},
+	}
+)
+
+// Register adds a scenario constructor to the ByName catalog (names
+// fold to lower case, matching lookup). The builder must return a
+// ready scenario for any Options; name and description are stamped on
+// by ByName like the built-ins. Registering an empty, reserved or
+// already-taken name is an error — built-ins cannot be shadowed.
+func Register(name, desc string, build func(opt Options) *Scenario) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	switch key {
+	case "":
+		return fmt.Errorf("scenario: cannot register an empty scenario name")
+	case "all", "list":
+		return fmt.Errorf("scenario: name %q is reserved by the CLIs", key)
+	}
+	if build == nil {
+		return fmt.Errorf("scenario: nil builder for %q", key)
+	}
+	defsMu.Lock()
+	defer defsMu.Unlock()
+	for _, d := range defs {
+		if d.name == key {
+			return fmt.Errorf("scenario: scenario %q already registered", key)
+		}
+	}
+	defs = append(defs, def{name: key, desc: desc, build: build})
+	return nil
+}
+
+// Known reports whether ByName would accept the name (same
+// lowercase/trim folding), without instantiating the scenario — a
+// replay scenario's builder walks every recorded transaction, so
+// validation must stay cheap.
+func Known(name string) bool {
+	want := strings.ToLower(strings.TrimSpace(name))
+	defsMu.RLock()
+	defer defsMu.RUnlock()
+	for _, d := range defs {
+		if d.name == want {
+			return true
+		}
+	}
+	return false
 }
 
 // Names returns the sorted scenario names ByName accepts.
 func Names() []string {
+	defsMu.RLock()
+	defer defsMu.RUnlock()
 	names := make([]string, 0, len(defs))
 	for _, d := range defs {
 		names = append(names, d.name)
@@ -53,6 +105,8 @@ func Names() []string {
 // Describe returns "name: description" lines for CLI help, in
 // catalog order.
 func Describe() []string {
+	defsMu.RLock()
+	defer defsMu.RUnlock()
 	out := make([]string, 0, len(defs))
 	for _, d := range defs {
 		out = append(out, d.name+": "+d.desc)
@@ -63,13 +117,17 @@ func Describe() []string {
 // ByName instantiates the named scenario with the given options.
 func ByName(name string, opt Options) (*Scenario, error) {
 	want := strings.ToLower(strings.TrimSpace(name))
+	defsMu.RLock()
 	for _, d := range defs {
 		if d.name == want {
-			s := d.build(opt)
-			s.name, s.desc = d.name, d.desc
+			build, dn, dd := d.build, d.name, d.desc
+			defsMu.RUnlock()
+			s := build(opt)
+			s.name, s.desc = dn, dd
 			return s, nil
 		}
 	}
+	defsMu.RUnlock()
 	return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)",
 		name, strings.Join(Names(), ", "))
 }

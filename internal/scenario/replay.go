@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+)
+
+// ReplayRecord is one committed transaction of a recorded trace,
+// reduced to what a backend needs to re-issue it: the distinct word
+// indices read and written, the in-transaction compute, and the
+// think time that followed (compute and think in the usual scenario
+// units — simulated cycles on the HTM backend, busy-work iterations
+// on the STM). internal/trace converts its on-disk records to this
+// form; hand-built slices work too.
+type ReplayRecord struct {
+	Reads, Writes  []uint32
+	Compute, Think float64
+}
+
+// replayIndex maps a (worker, per-worker sequence) pair onto the
+// record list: worker w replays records w, w+workers, w+2·workers, …
+// wrapping at the end. The striding keeps per-worker streams disjoint
+// (as in the original run) while covering the whole trace, and the
+// invariant check below replays the same mapping arithmetically.
+func replayIndex(worker int, seq uint64, workers, n int) int {
+	return int((uint64(worker) + seq*uint64(workers)) % uint64(n))
+}
+
+// NewReplay builds a scenario that re-issues recorded transaction
+// footprints as register-machine programs: each program loads the
+// record's read set, computes for the recorded in-transaction length,
+// and increments every written word (a load-add-store pair, so the
+// committed arena stays verifiable under concurrency). Both backends
+// therefore execute the exact access pattern of the recorded run.
+//
+// Committed-state invariant: the sum over all words equals the total
+// number of write ops in the records each worker committed — the
+// record-to-worker mapping is deterministic (see replayIndex), so the
+// expected sum is recomputable from the per-worker commit counts.
+//
+// Options.Length/Options.Think, when set, override the recorded
+// compute and think times (so -dist sweeps still compose with
+// replayed footprints); by default each program replays its record's
+// own values.
+func NewReplay(name, desc string, recs []ReplayRecord, opt Options) (*Scenario, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("scenario: replay %q needs at least one committed record", name)
+	}
+	words := 1
+	var computes []float64
+	for _, rec := range recs {
+		for _, w := range rec.Reads {
+			if int(w)+1 > words {
+				words = int(w) + 1
+			}
+		}
+		for _, w := range rec.Writes {
+			if int(w)+1 > words {
+				words = int(w) + 1
+			}
+		}
+		computes = append(computes, rec.Compute)
+	}
+	lengthOverride := opt.Length != nil
+	thinkOverride := opt.Think != nil
+	// The default length sampler is the empirical distribution of the
+	// recorded computes — only consulted when a caller later swaps
+	// samplers, but it keeps Mean() meaningful for tuners.
+	s := newBase(opt, dist.NewEmpirical(name, computes),
+		func(int) int { return words })
+	s.name, s.desc = name, desc
+	s.next = func(worker int, r *rng.Rand) Program {
+		rec := &recs[replayIndex(worker, s.seq(worker), s.workers, len(recs))]
+		comp := rec.Compute
+		if lengthOverride {
+			comp = s.sampleLen(r)
+		} else if comp > lenCap {
+			comp = lenCap
+		}
+		think := rec.Think
+		if thinkOverride {
+			think = s.sampleThink(r)
+		} else if think > lenCap {
+			think = lenCap
+		}
+		ops := make([]Op, 0, len(rec.Reads)+2*len(rec.Writes)+1)
+		reg := 0
+	reads:
+		for _, w := range rec.Reads {
+			for _, wr := range rec.Writes {
+				if wr == w {
+					continue reads // the increment below re-reads it
+				}
+			}
+			ops = append(ops, Load(int(w), reg&7))
+			reg++
+		}
+		ops = append(ops, Work(comp))
+		for _, w := range rec.Writes {
+			ops = append(ops, Load(int(w), 7), Store(int(w), 7, 1))
+		}
+		return Program{Ops: ops, Think: think}
+	}
+	s.check = func(st *State) error {
+		var want uint64
+		for w, c := range st.PerWorkerCommits {
+			for i := uint64(0); i < c; i++ {
+				want += uint64(len(recs[replayIndex(w, i, s.workers, len(recs))].Writes))
+			}
+		}
+		var got uint64
+		for w := 0; w < words; w++ {
+			got += st.Read(w)
+		}
+		if got != want {
+			return fmt.Errorf("%s: arena sum %d, want %d write increments (per-worker commits %v)",
+				s.name, got, want, st.PerWorkerCommits)
+		}
+		return nil
+	}
+	return s, nil
+}

@@ -1,0 +1,182 @@
+// Replay-scenario tests (external package, like the parity suite, so
+// the HTM adapter is usable without an import cycle).
+package scenario_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"txconflict/internal/dist"
+	"txconflict/internal/htm"
+	"txconflict/internal/rng"
+	"txconflict/internal/scenario"
+	"txconflict/internal/stm"
+	"txconflict/internal/strategy"
+	"txconflict/internal/workload"
+)
+
+// testRecords is a small hand-built trace: overlapping footprints on
+// a 6-word arena with varying compute/think.
+func testRecords() []scenario.ReplayRecord {
+	return []scenario.ReplayRecord{
+		{Reads: []uint32{0, 1}, Writes: []uint32{2}, Compute: 30, Think: 5},
+		{Reads: []uint32{2}, Writes: []uint32{0, 3}, Compute: 10, Think: 0},
+		{Reads: []uint32{4, 0}, Writes: []uint32{4}, Compute: 80, Think: 10},
+		{Writes: []uint32{5, 1}, Compute: 20, Think: 2},
+		{Reads: []uint32{3, 5}, Compute: 15, Think: 1}, // read-only
+	}
+}
+
+// TestReplayBothBackends runs a hand-built replay on the STM runtime
+// and the HTM simulator and checks the write-increment invariant on
+// both committed images.
+func TestReplayBothBackends(t *testing.T) {
+	sc, err := scenario.NewReplay("replay-unit", "unit replay", testRecords(),
+		scenario.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Words() != 6 {
+		t.Fatalf("Words() = %d, want 6", sc.Words())
+	}
+	rn := scenario.NewSTMRunner(sc, stm.DefaultConfig())
+	res := rn.Drive(4, 40*time.Millisecond, 11)
+	if res.Ops() == 0 {
+		t.Fatal("no replayed transactions completed on the STM")
+	}
+	if err := rn.Check(res.PerWorker); err != nil {
+		t.Fatalf("STM replay invariant: %v", err)
+	}
+
+	sc2, err := scenario.NewReplay("replay-unit", "unit replay", testRecords(),
+		scenario.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.FromScenario(sc2)
+	p := htm.DefaultParams(8)
+	p.Strategy = strategy.UniformRW{}
+	p.Seed = 11
+	m := htm.NewMachine(p, w)
+	m.Run(200_000)
+	met := m.Drain()
+	if met.Commits == 0 {
+		t.Fatal("no replayed transactions committed on the simulator")
+	}
+	if err := w.Check(m.Dir.ReadWord, met.PerCoreCommits); err != nil {
+		t.Fatalf("HTM replay invariant: %v", err)
+	}
+}
+
+// TestReplayDeterministicAssignment pins the record-to-worker
+// mapping: with recorded compute/think (no sampler override) the
+// program stream is a pure function of (worker, sequence), so two
+// instances replay identically.
+func TestReplayDeterministicAssignment(t *testing.T) {
+	mk := func() *scenario.Scenario {
+		sc, err := scenario.NewReplay("replay-unit", "unit replay", testRecords(),
+			scenario.Options{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	a, b := mk(), mk()
+	ra, rb := rng.New(1), rng.New(2) // streams must not matter
+	for i := 0; i < 50; i++ {
+		pa := a.Next(i%3, ra)
+		pb := b.Next(i%3, rb)
+		if len(pa.Ops) != len(pb.Ops) || pa.Think != pb.Think {
+			t.Fatalf("program %d shape mismatch: %d/%v vs %d/%v",
+				i, len(pa.Ops), pa.Think, len(pb.Ops), pb.Think)
+		}
+		for j := range pa.Ops {
+			if pa.Ops[j] != pb.Ops[j] {
+				t.Fatalf("program %d op %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestReplayOverrides checks that Options.Length/Think substitute the
+// recorded compute/think while keeping the recorded footprints.
+func TestReplayOverrides(t *testing.T) {
+	sc, err := scenario.NewReplay("replay-unit", "unit replay", testRecords(),
+		scenario.Options{
+			Workers: 1,
+			Length:  dist.Constant{V: 123},
+			Think:   dist.Constant{V: 45},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for i := 0; i < 10; i++ {
+		p := sc.Next(0, r)
+		if p.Think != 45 {
+			t.Fatalf("think = %v, want overridden 45", p.Think)
+		}
+		found := false
+		for _, op := range p.Ops {
+			if op.Kind == scenario.OpCompute {
+				if op.Cycles != 123 {
+					t.Fatalf("compute = %v, want overridden 123", op.Cycles)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("no compute op in replay program")
+		}
+	}
+	if _, err := scenario.NewReplay("empty", "", nil, scenario.Options{}); err == nil {
+		t.Fatal("empty record list accepted")
+	}
+}
+
+// TestScenarioRegister exercises the dynamic registry: a registered
+// replay shows up in Names/ByName (and therefore in the parity matrix
+// of this test binary — it must behave like any other scenario), and
+// duplicate or reserved names are rejected.
+func TestScenarioRegister(t *testing.T) {
+	recs := testRecords()
+	build := func(opt scenario.Options) *scenario.Scenario {
+		sc, err := scenario.NewReplay("replay:unit-test", "registered unit replay", recs, opt)
+		if err != nil {
+			panic(err) // recs is non-empty, validated above
+		}
+		return sc
+	}
+	if err := scenario.Register("Replay:Unit-Test", "registered unit replay", build); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range scenario.Names() {
+		if n == "replay:unit-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered name missing from Names(): %v", scenario.Names())
+	}
+	sc, err := scenario.ByName("replay:unit-test", scenario.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name() != "replay:unit-test" || sc.Workers() != 2 {
+		t.Fatalf("registered scenario = %q/%d workers", sc.Name(), sc.Workers())
+	}
+	if err := scenario.Register("replay:unit-test", "", build); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+	if err := scenario.Register("hotspot", "", build); err == nil {
+		t.Fatal("shadowing a built-in was accepted")
+	}
+	for _, reserved := range []string{"all", "list", " "} {
+		if err := scenario.Register(reserved, "", build); err == nil {
+			t.Fatalf("reserved name %q accepted", reserved)
+		}
+	}
+}

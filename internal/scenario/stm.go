@@ -14,15 +14,30 @@ import (
 // become Atomic blocks over tx.Load/tx.Store, so both backends run
 // identical access patterns and verify identical invariants.
 type STMRunner struct {
-	sc *Scenario
-	rt *stm.Runtime
+	sc       *Scenario
+	rt       *stm.Runtime
+	annotate ProgramAnnotator
+}
+
+// ProgramAnnotator receives the scenario-level context of each
+// transaction the runner executes — the half of a trace record the
+// runtime cannot see (program op count, sampled compute length, think
+// time). A tracer installed as stm.Config.Trace that also implements
+// this interface (trace.Recorder does) is called right after the
+// runtime delivers the block's TxTrace, on the same worker goroutine.
+type ProgramAnnotator interface {
+	AnnotateProgram(worker, ops int, compute, think float64)
 }
 
 // NewSTMRunner builds a runtime sized to the scenario's arena. The
 // scenario's worker count is frozen from this point on: the arena
 // cannot grow once words are allocated.
 func NewSTMRunner(sc *Scenario, cfg stm.Config) *STMRunner {
-	return &STMRunner{sc: sc, rt: stm.New(sc.Words(), cfg)}
+	rn := &STMRunner{sc: sc, rt: stm.New(sc.Words(), cfg)}
+	if a, ok := cfg.Trace.(ProgramAnnotator); ok {
+		rn.annotate = a
+	}
+	return rn
 }
 
 // Scenario returns the underlying scenario.
@@ -36,10 +51,19 @@ func (rn *STMRunner) Runtime() *stm.Runtime { return rn.rt }
 // Workers must each run on their own goroutine with their own stream.
 func (rn *STMRunner) RunOne(worker int, r *rng.Rand) {
 	p := rn.sc.Next(worker, r)
-	_ = rn.rt.Atomic(r, func(tx *stm.Tx) error {
+	_ = rn.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
 		execProgram(tx, p.Ops)
 		return nil
 	})
+	if rn.annotate != nil {
+		var compute float64
+		for _, op := range p.Ops {
+			if op.Kind == OpCompute {
+				compute += op.Cycles
+			}
+		}
+		rn.annotate.AnnotateProgram(worker, len(p.Ops), compute, p.Think)
+	}
 	busyWork(int(p.Think))
 }
 

@@ -142,6 +142,11 @@ type Config struct {
 	// MaxRetries bounds optimistic retries before the transaction
 	// falls back to the irrevocable slow path; 0 means never.
 	MaxRetries int
+	// Trace, when non-nil, receives one TxTrace per completed atomic
+	// block (see internal/trace for the production recorder). All
+	// instrumentation is gated behind this nil check, so the hot path
+	// is unperturbed when tracing is off.
+	Trace Tracer
 }
 
 // DefaultConfig returns an eager requestor-wins configuration with

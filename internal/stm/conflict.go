@@ -49,6 +49,14 @@ func (tx *Tx) onLocked(idx int) {
 		return
 	}
 	rt.Stats.GraceWaits.Add(1)
+	if tx.traced {
+		// The deferred accumulation also runs when the wait ends in
+		// an abort panic, so no grace time is lost on killed waiters.
+		waitStart := time.Now()
+		defer func() {
+			tx.tr.GraceWaitNs += time.Since(waitStart).Nanoseconds()
+		}()
+	}
 	k := owner.chainK()
 	defer owner.leaveChain()
 	if rt.kEst != nil {
@@ -96,6 +104,9 @@ func (tx *Tx) onLocked(idx int) {
 	if pol == core.RequestorWins || tx.irrevocable.Load() {
 		if owner.state.CompareAndSwap(st0, st0&^stateStatusMask|statusKilled) {
 			rt.Stats.Kills.Add(1)
+			if tx.traced {
+				tx.tr.KillsIssued++
+			}
 		}
 		// Killed, or already past no-return: either way the locks
 		// drop shortly. We may have been killed too (mutual kill on

@@ -1,0 +1,284 @@
+package stm
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"txconflict/internal/rng"
+)
+
+// collectTracer copies every TxTrace it receives (the pointer is only
+// valid during the call).
+type collectTracer struct {
+	mu   sync.Mutex
+	recs []TxTrace
+}
+
+func (c *collectTracer) TraceTx(t *TxTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := *t
+	cp.Reads = append([]uint32(nil), t.Reads...)
+	cp.Writes = append([]uint32(nil), t.Writes...)
+	c.recs = append(c.recs, cp)
+}
+
+func (c *collectTracer) snapshot() []TxTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TxTrace(nil), c.recs...)
+}
+
+// countTracer only counts calls — the no-op sink for overhead tests.
+type countTracer struct{ n int }
+
+func (c *countTracer) TraceTx(*TxTrace) { c.n++ }
+
+// TestTraceUncontendedRecords checks the per-block record contents on
+// an uncontended runtime: worker attribution, outcome, retry count,
+// and the deduplicated read/write footprints, in both locking modes.
+func TestTraceUncontendedRecords(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		name := "eager"
+		if lazy {
+			name = "lazy"
+		}
+		t.Run(name, func(t *testing.T) {
+			tr := &collectTracer{}
+			cfg := DefaultConfig()
+			cfg.Lazy = lazy
+			cfg.Trace = tr
+			rt := New(8, cfg)
+			r := rng.New(1)
+			for i := 0; i < 5; i++ {
+				err := rt.AtomicWorker(3, r, func(tx *Tx) error {
+					v := tx.Load(0)
+					_ = tx.Load(0) // duplicate load must not widen the footprint
+					_ = tx.Load(5)
+					tx.Store(1, v+1)
+					tx.Store(2, 7)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			recs := tr.snapshot()
+			if len(recs) != 5 {
+				t.Fatalf("got %d records, want 5", len(recs))
+			}
+			for i, rec := range recs {
+				if rec.Worker != 3 || !rec.Committed || rec.Retries != 0 {
+					t.Fatalf("record %d = %+v", i, rec)
+				}
+				if rec.KillsSuffered != 0 || rec.KillsIssued != 0 || rec.GraceWaitNs != 0 {
+					t.Fatalf("record %d has conflict stats on an uncontended run: %+v", i, rec)
+				}
+				if rec.DurNs < 0 || rec.StartUnixNs == 0 {
+					t.Fatalf("record %d timing: %+v", i, rec)
+				}
+				reads := append([]uint32(nil), rec.Reads...)
+				writes := append([]uint32(nil), rec.Writes...)
+				sort.Slice(reads, func(a, b int) bool { return reads[a] < reads[b] })
+				sort.Slice(writes, func(a, b int) bool { return writes[a] < writes[b] })
+				if len(writes) != 2 || writes[0] != 1 || writes[1] != 2 {
+					t.Fatalf("record %d writes = %v, want [1 2]", i, rec.Writes)
+				}
+				if len(reads) != 2 || reads[0] != 0 || reads[1] != 5 {
+					t.Fatalf("record %d reads = %v, want [0 5]", i, rec.Reads)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceUserAbort checks that user-level aborts emit a
+// non-committed record with the attempted footprint.
+func TestTraceUserAbort(t *testing.T) {
+	tr := &collectTracer{}
+	cfg := DefaultConfig()
+	cfg.Trace = tr
+	rt := New(4, cfg)
+	errNope := errors.New("nope")
+	err := rt.Atomic(rng.New(1), func(tx *Tx) error {
+		tx.Store(2, 1)
+		return errNope
+	})
+	if !errors.Is(err, errNope) {
+		t.Fatalf("err = %v", err)
+	}
+	recs := tr.snapshot()
+	if len(recs) != 1 || recs[0].Committed || recs[0].Worker != -1 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if len(recs[0].Writes) != 1 || recs[0].Writes[0] != 2 {
+		t.Fatalf("aborted footprint = %v, want [2]", recs[0].Writes)
+	}
+	if rt.ReadCommitted(2) != 0 {
+		t.Fatal("user abort leaked a write")
+	}
+}
+
+// TestTraceKillAccounting stages a requestor-wins kill and checks
+// both sides of the ledger: the victim's record carries the suffered
+// kill and the retry, the killer's carries the issued kill.
+func TestTraceKillAccounting(t *testing.T) {
+	tr := &collectTracer{}
+	cfg := DefaultConfig()
+	cfg.Strategy = nil // immediate resolution: the requestor kills at once
+	cfg.MaxRetries = 0
+	cfg.Trace = tr
+	rt := New(1, cfg)
+	root := rng.New(3)
+	recvR, reqR := root.Split(), root.Split()
+
+	held := make(chan struct{})
+	cont := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // receiver (worker 0): holds the word lock until killed
+		defer wg.Done()
+		once := sync.OnceFunc(func() { close(held) })
+		_ = rt.AtomicWorker(0, recvR, func(tx *Tx) error {
+			tx.Store(0, 1)
+			if tx.Attempts() == 0 {
+				once()
+				<-cont
+			}
+			tx.Store(0, 2) // instrumentation point: observes the kill
+			return nil
+		})
+	}()
+	<-held
+
+	wg.Add(1)
+	go func() { // requestor (worker 1): kills the receiver immediately
+		defer wg.Done()
+		_ = rt.AtomicWorker(1, reqR, func(tx *Tx) error {
+			tx.Store(0, tx.Load(0)+10)
+			return nil
+		})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Stats.Kills.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("kill never landed (stats %v)", rt.Stats.Snapshot())
+		}
+		runtime.Gosched()
+	}
+	close(cont)
+	wg.Wait()
+
+	var victim, killer *TxTrace
+	for i, rec := range tr.snapshot() {
+		rec := rec
+		switch rec.Worker {
+		case 0:
+			victim = &tr.recs[i]
+		case 1:
+			killer = &tr.recs[i]
+		}
+	}
+	if victim == nil || killer == nil {
+		t.Fatalf("missing records: %+v", tr.snapshot())
+	}
+	if victim.KillsSuffered == 0 || victim.Retries == 0 || !victim.Committed {
+		t.Fatalf("victim record = %+v", victim)
+	}
+	if killer.KillsIssued == 0 || !killer.Committed {
+		t.Fatalf("killer record = %+v", killer)
+	}
+}
+
+// TestTraceGateOverhead is the hot-path guard for Config.Trace = nil:
+//
+//  1. the gate is correct — a tracer fires exactly once per block when
+//     installed and never when absent;
+//  2. the tracing-off path allocates nothing per transaction (all
+//     instrumentation state lives behind the gate);
+//  3. the tracing-off path through AtomicWorker costs within 5% of the
+//     legacy Atomic entry (min of interleaved trials, so a leak of
+//     instrumentation work ahead of the nil gate shows up as a stable
+//     regression rather than scheduler noise).
+func TestTraceGateOverhead(t *testing.T) {
+	mk := func(traced *countTracer) *Runtime {
+		cfg := DefaultConfig()
+		if traced != nil {
+			cfg.Trace = traced
+		}
+		return New(64, cfg)
+	}
+
+	ct := &countTracer{}
+	rtOn := mk(ct)
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		_ = rtOn.Atomic(r, func(tx *Tx) error { tx.Store(i%64, 1); return nil })
+	}
+	if ct.n != 100 {
+		t.Fatalf("tracer fired %d times for 100 blocks", ct.n)
+	}
+
+	rtOff := mk(nil)
+	if !raceEnabled { // the race detector randomizes sync.Pool reuse
+		if avg := testing.AllocsPerRun(200, func() {
+			_ = rtOff.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
+		}); avg > 0.5 { // tolerate a GC dropping the descriptor pool mid-run
+			t.Errorf("tracing-off transaction allocates %.1f objects/op, want 0", avg)
+		}
+	}
+
+	if testing.Short() {
+		return
+	}
+	const iters = 200_000
+	loop := func(rt *Runtime, worker int) float64 {
+		lr := rng.New(7)
+		body := func(tx *Tx) error { tx.Store(3, 4); return nil }
+		start := time.Now()
+		if worker < 0 {
+			for i := 0; i < iters; i++ {
+				_ = rt.Atomic(lr, body)
+			}
+		} else {
+			for i := 0; i < iters; i++ {
+				_ = rt.AtomicWorker(worker, lr, body)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters
+	}
+	base, off := 1e18, 1e18
+	for trial := 0; trial < 5; trial++ {
+		if v := loop(rtOff, -1); v < base {
+			base = v
+		}
+		if v := loop(rtOff, 0); v < off {
+			off = v
+		}
+	}
+	if off > base*1.05 {
+		t.Errorf("tracing-off hot path: %.1f ns/op vs %.1f ns/op baseline (>5%% overhead)", off, base)
+	}
+}
+
+// BenchmarkUncontendedTxTraced is the traced counterpart of
+// BenchmarkUncontendedTx: same single-word transactions with a
+// recording no-op sink, so `go test -bench 'UncontendedTx'` prints
+// the cost of full instrumentation next to the gated baseline.
+func BenchmarkUncontendedTxTraced(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Trace = &countTracer{}
+	rt := New(64, cfg)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.AtomicWorker(0, r, func(tx *Tx) error {
+			tx.Store(i%64, uint64(i))
+			return nil
+		})
+	}
+}

@@ -65,6 +65,12 @@ type Tx struct {
 
 	reads []readEntry
 
+	// traced gates all instrumentation below it (Config.Trace != nil,
+	// latched per Atomic call); tr accumulates the block's trace and
+	// reuses its footprint buffers across pooled descriptors.
+	traced bool
+	tr     TxTrace
+
 	// Lazy mode: buffered write set.
 	writeIdx  []int
 	writeVals map[int]uint64
@@ -98,6 +104,14 @@ func (tx *Tx) Attempts() int { return int(tx.attempts.Load()) }
 // forever once the descriptor is reset — the state word survives
 // recycling and its epoch only grows.
 func (rt *Runtime) Atomic(r *rng.Rand, fn func(tx *Tx) error) error {
+	return rt.AtomicWorker(-1, r, fn)
+}
+
+// AtomicWorker is Atomic with a caller-supplied worker id, recorded
+// in the block's TxTrace when tracing is enabled (Config.Trace). The
+// id has no semantic effect on execution; scenario.STMRunner passes
+// its worker index so per-worker trace buffers stay contention-free.
+func (rt *Runtime) AtomicWorker(worker int, r *rng.Rand, fn func(tx *Tx) error) error {
 	tx, _ := rt.txPool.Get().(*Tx)
 	if tx == nil {
 		tx = &Tx{
@@ -111,10 +125,16 @@ func (rt *Runtime) Atomic(r *rng.Rand, fn func(tx *Tx) error) error {
 	}
 	tx.rng = r
 	tx.attempts.Store(0)
+	if tx.traced = rt.cfg.Trace != nil; tx.traced {
+		tx.beginTrace(worker)
+	}
 	for {
 		tx.reset()
 		err, aborted := tx.attempt(fn)
 		if !aborted {
+			if tx.traced {
+				tx.emitTrace(err == nil)
+			}
 			tx.rng = nil
 			rt.txPool.Put(tx)
 			return err
@@ -125,6 +145,9 @@ func (rt *Runtime) Atomic(r *rng.Rand, fn func(tx *Tx) error) error {
 			rt.fallback.Lock()
 			tx.irrevocable.Store(true)
 			rt.Stats.Irrevocable.Add(1)
+			if tx.traced {
+				tx.tr.Irrevocable = true
+			}
 		}
 	}
 }
@@ -151,13 +174,17 @@ func (tx *Tx) reset() {
 func (tx *Tx) attempt(fn func(tx *Tx) error) (err error, aborted bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(txAbort); !ok {
+			ab, ok := r.(txAbort)
+			if !ok {
 				// A panic out of user code must not leak encounter
 				// locks or the irrevocable token — release both
 				// before letting it unwind.
 				tx.rollback()
 				tx.releaseToken()
 				panic(r)
+			}
+			if tx.traced {
+				tx.noteAbort(ab.reason)
 			}
 			tx.rollback()
 			aborted = true
@@ -166,9 +193,15 @@ func (tx *Tx) attempt(fn func(tx *Tx) error) (err error, aborted bool) {
 	err = fn(tx)
 	if err != nil {
 		// User-level abort: discard speculative state, no retry.
+		if tx.traced {
+			tx.captureFootprint()
+		}
 		tx.rollback()
 		tx.releaseToken()
 		return err, false
+	}
+	if tx.traced {
+		tx.captureFootprint()
 	}
 	tx.commit()
 	tx.releaseToken()

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FormatName and FormatVersion identify the on-disk trace format: a
+// single JSON header line followed by one JSON record per line.
+// Version bumps whenever a Record or Header field changes meaning;
+// Load rejects files written by a newer version instead of silently
+// misreading them.
+const (
+	FormatName    = "txconflict-trace"
+	FormatVersion = 1
+)
+
+// maxLineBytes bounds one JSON line on load. A record with a
+// whole-arena footprint is a few KiB; 4 MiB leaves two orders of
+// magnitude of headroom.
+const maxLineBytes = 4 << 20
+
+// Write streams the trace to w: header line, then one record per
+// line. The header's format, version and record count are stamped
+// from the actual data.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	h := tr.Header
+	h.Format = FormatName
+	h.Version = FormatVersion
+	h.Count = len(tr.Records)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	if err := enc.Encode(&h); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for i := range tr.Records {
+		if err := enc.Encode(&tr.Records[i]); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace from r, validating format name, version and
+// record count (a short stream means a truncated file).
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: read header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty stream")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("trace: parse header: %w", err)
+	}
+	if h.Format != FormatName {
+		return nil, fmt.Errorf("trace: not a %s stream (format %q)", FormatName, h.Format)
+	}
+	if h.Version < 1 || h.Version > FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (this build reads <= %d)",
+			h.Version, FormatVersion)
+	}
+	tr := &Trace{Header: h}
+	if h.Count > 0 {
+		tr.Records = make([]Record, 0, h.Count)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("trace: parse record %d: %w", len(tr.Records), err)
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read records: %w", err)
+	}
+	if len(tr.Records) != h.Count {
+		return nil, fmt.Errorf("trace: truncated stream: %d records, header promises %d",
+			len(tr.Records), h.Count)
+	}
+	return tr, nil
+}
+
+// Save writes the trace to path (atomically enough for CLI use: a
+// failed write leaves a partial file that Load rejects via the record
+// count).
+func Save(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := Write(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads and validates the trace at path.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short scenario-parity bench bench-stm trace-demo tidy
+.PHONY: all build vet test race-short scenario-parity bench bench-stm bench-batch trace-demo fuzz-trace tidy
 
 all: build vet test
 
@@ -24,11 +24,13 @@ test:
 race-short:
 	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/ ./internal/trace/ ./internal/experiments/
 
-# Cross-backend scenario parity: every registry scenario on both the
-# HTM simulator and the STM runtime, invariants verified, under the
-# race detector. CI runs this at GOMAXPROCS=1 and 4.
+# Cross-backend scenario parity plus the cross-mode (eager vs lazy vs
+# lazy+batched) equivalence suite: every registry scenario on both
+# backends and all three STM commit paths, invariants verified, under
+# the race detector. CI runs this at GOMAXPROCS=1, 4 and 8 (the 8-proc
+# cell pins STM_COMMIT_BATCH=4).
 scenario-parity:
-	$(GO) test -race -count=1 -run 'TestScenarioParity' ./internal/scenario/
+	$(GO) test -race -count=1 -run 'TestScenarioParity|TestCrossMode' ./internal/scenario/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -38,6 +40,13 @@ bench:
 # this as a non-blocking step so the perf history starts recording.
 bench-stm:
 	$(GO) run ./cmd/stmbench -perf -out BENCH_stm.json
+
+# Batched group commit vs the unbatched lazy baseline: the
+# CommitBatch sweep on the contended scenarios at 8 procs. CI runs
+# this as a non-blocking smoke step; the speedup needs real hardware
+# parallelism (see BenchmarkSTMCommitBatch's doc comment).
+bench-batch:
+	$(GO) test -run '^$$' -bench STMCommitBatch -cpu 8 -benchtime 300ms .
 
 # The Section 1 profile-to-simulation loop, end to end: record a
 # short contended hotspot run on the STM runtime, replay the
@@ -50,6 +59,13 @@ trace-demo:
 	$(GO) run ./cmd/txsim -replay $(TRACE_FILE) -threads 1,2,4 -cycles 300000
 	$(GO) run ./cmd/stmbench -replay $(TRACE_FILE) -goroutines 1,2 -duration 100ms
 	$(GO) run ./cmd/stmbench -fidelity $(TRACE_FILE) -duration 100ms
+
+# Fuzz the trace persistence format: refresh the recorded seed under
+# internal/trace/testdata, then fuzz Load — corrupt or truncated
+# inputs must error, never panic or silently drop records.
+fuzz-trace:
+	$(GO) run ./cmd/stmbench -scenario hotspot -duration 50ms -goroutines 2 -record internal/trace/testdata/fuzz-seed.trace
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 20s ./internal/trace/
 
 tidy:
 	$(GO) mod tidy

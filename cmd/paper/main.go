@@ -123,6 +123,15 @@ func main() {
 	}
 	save("stm.txt", stmTabs...)
 
+	// E18: STM runtime design ablations — arena sharding, locking
+	// mode, batched group commit, policies, chain estimator — each
+	// varied alone against the pinned eager requestor-wins baseline.
+	stmAbl, err := experiments.STMAblations("txapp", 8, stmCfg)
+	if err != nil {
+		fatal(err)
+	}
+	save("stm_ablations.txt", stmAbl)
+
 	// E17: the Section 1 profile-to-simulation loop — record a real
 	// hotspot run on the STM runtime, replay its exact footprints on
 	// the HTM simulator and a fresh STM arena, compare.

@@ -14,6 +14,7 @@
 //	stmbench -scenario hotspot -dist zipf -mu 100  # skewed lengths too
 //	stmbench -scenario txapp -shards 1       # flat single-clock arena
 //	stmbench -scenario txapp -kwindow 64     # windowed chain estimator
+//	stmbench -scenario hotspot -batch 8      # lazy batched group commit
 //	stmbench -ablate -scenario txapp         # runtime design ablations
 //	stmbench -perf -out BENCH_stm.json       # CI perf snapshot
 //
@@ -53,6 +54,7 @@ func main() {
 		dur      = flag.Duration("duration", 300*time.Millisecond, "measurement duration per cell")
 		policy   = flag.String("policy", "rw", "conflict policy: rw or ra")
 		lazy     = flag.Bool("lazy", false, "use lazy (commit-time) locking instead of eager")
+		batch    = flag.Int("batch", 0, "lazy group-commit batch bound (0 = unbatched; > 0 implies -lazy)")
 		shards   = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
 		kwindow  = flag.Int("kwindow", 0, "windowed conflict-chain estimator size (0 = instantaneous 2+waiters)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -87,7 +89,8 @@ func main() {
 	cfg := experiments.DefaultSTMConfig()
 	cfg.Duration = *dur
 	cfg.Seed = *seed
-	cfg.Lazy = *lazy
+	cfg.Lazy = *lazy || *batch > 0 // the combiner only exists in lazy mode
+	cfg.CommitBatch = *batch
 	cfg.Shards = *shards
 	cfg.KWindow = *kwindow
 	if strings.EqualFold(*policy, "ra") {

@@ -22,11 +22,19 @@
 // runtime for real-goroutine experiments (internal/stm: a sharded
 // lock arena with cache-line-padded word metadata, striped per-shard
 // commit clocks with TL2-style snapshot extension, an attempt-epoch
-// kill protocol, and a windowed conflict-chain estimator behind
-// Config.KWindow), driven by scenario.STMRunner. cmd/txsim and
-// cmd/stmbench select workloads from the one registry via
-// -scenario/-dist, and every run is checked against its scenario's
-// invariant end to end.
+// kill protocol, a windowed conflict-chain estimator behind
+// Config.KWindow, and a flat-combining group commit for the lazy TL2
+// mode behind Config.CommitBatch — a per-shard combiner acquires the
+// merged commit locks once and writes back a bounded queue of write
+// sets with a single clock advance per written stripe, stamping each
+// queued descriptor's outcome into its packed state word so kills
+// landed while queued still resolve correctly), driven by
+// scenario.STMRunner. cmd/txsim and cmd/stmbench select workloads
+// from the one registry via -scenario/-dist (stmbench -batch for the
+// group commit), and every run is checked against its scenario's
+// invariant end to end — including the cross-mode equivalence suite
+// holding eager, lazy and lazy+batched commits to identical
+// committed state on seeded schedules.
 //
 // The internal/trace subsystem closes the Section 1 profile-to-
 // simulation loop: a per-worker recorder hooks into the STM runtime

@@ -133,6 +133,10 @@ type STMConfig struct {
 	// Policy and Lazy select the runtime mode.
 	Policy core.Policy
 	Lazy   bool
+	// CommitBatch routes lazy commits through the group-commit
+	// combiner with the given batch bound (stm.Config.CommitBatch);
+	// 0 keeps the unbatched commit path.
+	CommitBatch int
 	// Shards is the stm arena stripe count (0 = runtime default,
 	// 1 = flat single-clock arena).
 	Shards int
@@ -181,6 +185,7 @@ func stmRuntimeConfig(cfg STMConfig, s core.Strategy) stm.Config {
 		Policy:      cfg.Policy,
 		Strategy:    s,
 		Lazy:        cfg.Lazy,
+		CommitBatch: cfg.CommitBatch,
 		Shards:      cfg.Shards,
 		KWindow:     cfg.KWindow,
 		CleanupCost: 2 * time.Microsecond,

@@ -65,6 +65,10 @@ func STMAblations(bench string, goroutines int, cfg STMConfig) (*report.Table, e
 		{"baseline RW + RRW (striped clocks)", func(c *stm.Config) {}},
 		{"flat arena (1 shard)", func(c *stm.Config) { c.Shards = 1 }},
 		{"lazy (TL2 commit locking)", func(c *stm.Config) { c.Lazy = true }},
+		{"lazy batched commit (CommitBatch=8)", func(c *stm.Config) {
+			c.Lazy = true
+			c.CommitBatch = 8
+		}},
 		{"policy RA + RRA", func(c *stm.Config) {
 			c.Policy = core.RequestorAborts
 			c.Strategy = strategy.ExpRA{}
@@ -123,18 +127,36 @@ type STMScenarioPerf struct {
 	AbortsPerCommit float64 `json:"abortsPerCommit"`
 }
 
+// STMBatchPerf is one CommitBatch level of the lazy group-commit
+// sweep: committed-transaction throughput plus the combiner's own
+// ledger (rounds and write sets committed by a combiner), so the
+// recorded trajectory shows both the speedup and how much combining
+// actually happened on the measuring machine.
+type STMBatchPerf struct {
+	CommitBatch   int     `json:"commitBatch"`
+	CommitsPerSec float64 `json:"commitsPerSec"`
+	Batches       uint64  `json:"batches,omitempty"`
+	BatchCommits  uint64  `json:"batchCommits,omitempty"`
+	BatchFails    uint64  `json:"batchFails,omitempty"`
+}
+
 // STMPerfReport is the machine-readable perf trajectory snapshot
 // emitted by `make bench-stm` into BENCH_stm.json.
 type STMPerfReport struct {
-	Bench      string            `json:"bench"`
-	Policy     string            `json:"policy"`
-	Lazy       bool              `json:"lazy"`
-	Shards     int               `json:"shards"`
-	KWindow    int               `json:"kWindow,omitempty"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	DurationMS int64             `json:"durationMs"`
-	Points     []STMPerfPoint    `json:"points"`
-	Scenarios  []STMScenarioPerf `json:"scenarios"`
+	Bench       string            `json:"bench"`
+	Policy      string            `json:"policy"`
+	Lazy        bool              `json:"lazy"`
+	CommitBatch int               `json:"commitBatch,omitempty"`
+	Shards      int               `json:"shards"`
+	KWindow     int               `json:"kWindow,omitempty"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	DurationMS  int64             `json:"durationMs"`
+	Points      []STMPerfPoint    `json:"points"`
+	Scenarios   []STMScenarioPerf `json:"scenarios"`
+	// BatchSweep is the lazy group-commit trajectory: the main bench
+	// at the highest goroutine level, CommitBatch swept over
+	// 0 (unbatched baseline) and the batch bounds.
+	BatchSweep []STMBatchPerf `json:"batchSweep"`
 }
 
 // STMPerf measures commits/sec and abort counts on the main benchmark
@@ -150,12 +172,13 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 		cfg.Duration = 200 * time.Millisecond
 	}
 	rep := &STMPerfReport{
-		Bench:      bench,
-		Policy:     cfg.Policy.String(),
-		Lazy:       cfg.Lazy,
-		KWindow:    cfg.KWindow,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		DurationMS: cfg.Duration.Milliseconds(),
+		Bench:       bench,
+		Policy:      cfg.Policy.String(),
+		Lazy:        cfg.Lazy,
+		CommitBatch: cfg.CommitBatch,
+		KWindow:     cfg.KWindow,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		DurationMS:  cfg.Duration.Milliseconds(),
 	}
 	for _, n := range levels {
 		sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
@@ -196,6 +219,29 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 			Goroutines:      scenarioLevel,
 			CommitsPerSec:   m.CommitsPerSec,
 			AbortsPerCommit: m.AbortsPerCommit,
+		})
+	}
+	// Lazy group-commit sweep at the highest level: batch=0 is the
+	// unbatched lazy baseline the batched cells are read against.
+	batchLevel := levels[len(levels)-1]
+	for _, bsz := range []int{0, 2, 4, 8} {
+		sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
+		sCfg.Lazy = true
+		sCfg.CommitBatch = bsz
+		rn, err := stmScenario(bench, cfg.Length, batchLevel, sCfg)
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureSTM(rn, batchLevel, scenarioDur, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf batch sweep %d: %w", bsz, err)
+		}
+		rep.BatchSweep = append(rep.BatchSweep, STMBatchPerf{
+			CommitBatch:   bsz,
+			CommitsPerSec: m.CommitsPerSec,
+			Batches:       m.Stats["batches"],
+			BatchCommits:  m.Stats["batchCommits"],
+			BatchFails:    m.Stats["batchFails"],
 		})
 	}
 	return rep, nil

@@ -7,6 +7,8 @@
 package scenario_test
 
 import (
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -18,6 +20,21 @@ import (
 	"txconflict/internal/strategy"
 	"txconflict/internal/workload"
 )
+
+// parityBatch is the Config.CommitBatch the batched-lazy parity and
+// equivalence cells run with. CI sets it per matrix cell via
+// STM_COMMIT_BATCH (the scenario-parity job's -batch knob): a
+// positive value pins the batch bound, 0 skips the batched cells
+// (they would duplicate the plain lazy runs), and unset defaults
+// to 4.
+func parityBatch() int {
+	if s := os.Getenv("STM_COMMIT_BATCH"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return 4
+}
 
 // htmParity runs one scenario on the simulator and checks its
 // invariant against the drained directory image.
@@ -86,6 +103,11 @@ func TestScenarioParity(t *testing.T) {
 				lazy := stm.DefaultConfig()
 				lazy.Lazy = true
 				stmParity(t, name, lazy)
+				if b := parityBatch(); b > 0 {
+					batched := lazy
+					batched.CommitBatch = b
+					stmParity(t, name, batched)
+				}
 			}
 		})
 	}
@@ -110,6 +132,116 @@ func TestScenarioParityKWindow(t *testing.T) {
 		if est := rn.Runtime().KEstimate(); est < 2 {
 			t.Fatalf("KEstimate = %v after %d grace waits, want >= 2", est, waits)
 		}
+	}
+}
+
+// stmModes are the three runtime configurations the equivalence suite
+// compares: eager encounter-time locking, lazy (TL2) commit locking,
+// and lazy with the group-commit combiner.
+func stmModes() []struct {
+	name string
+	cfg  stm.Config
+} {
+	eager := stm.DefaultConfig()
+	lazy := eager
+	lazy.Lazy = true
+	modes := []struct {
+		name string
+		cfg  stm.Config
+	}{
+		{"eager", eager},
+		{"lazy", lazy},
+	}
+	if b := parityBatch(); b > 0 {
+		batched := lazy
+		batched.CommitBatch = b
+		modes = append(modes, struct {
+			name string
+			cfg  stm.Config
+		}{"lazy+batched", batched})
+	}
+	return modes
+}
+
+// TestCrossModeEquivalence is the cross-mode property suite for the
+// batched commit path: every registered scenario, on a seeded
+// deterministic schedule (one worker, a fixed transaction count),
+// must leave a byte-identical committed arena under eager, lazy, and
+// lazy+batched configurations — same words, same object sums. A
+// single worker makes the schedule a pure function of the seed, so
+// any divergence is a real semantic difference between the commit
+// paths (a lost write, a double write-back, a skipped program).
+func TestCrossModeEquivalence(t *testing.T) {
+	const txs = 300
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var ref []uint64
+			var refMode string
+			for _, mode := range stmModes() {
+				sc, err := scenario.ByName(name, scenario.Options{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rn := scenario.NewSTMRunner(sc, mode.cfg)
+				r := rng.New(12345)
+				for i := 0; i < txs; i++ {
+					rn.RunOne(0, r)
+				}
+				perWorker := []uint64{txs}
+				if err := rn.Check(perWorker); err != nil {
+					t.Fatalf("%s: invariant: %v", mode.name, err)
+				}
+				words := make([]uint64, sc.Words())
+				for i := range words {
+					words[i] = rn.Runtime().ReadCommitted(i)
+				}
+				if ref == nil {
+					ref, refMode = words, mode.name
+					continue
+				}
+				if len(words) != len(ref) {
+					t.Fatalf("%s arena has %d words, %s has %d", mode.name, len(words), refMode, len(ref))
+				}
+				for i := range words {
+					if words[i] != ref[i] {
+						t.Fatalf("%s diverges from %s at word %d: %d vs %d",
+							mode.name, refMode, i, words[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossModeEquivalenceContended drives the same three modes with
+// real contention (the deterministic test above cannot exercise
+// batching's multi-member rounds or conflict paths) and holds every
+// mode to the scenario's committed-state invariant.
+func TestCrossModeEquivalenceContended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contended equivalence is covered by TestScenarioParity in short mode")
+	}
+	const workers = 4
+	d := 40 * time.Millisecond
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, mode := range stmModes() {
+				sc, err := scenario.ByName(name, scenario.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rn := scenario.NewSTMRunner(sc, mode.cfg)
+				res := rn.Drive(workers, d, 99)
+				if res.Ops() == 0 {
+					t.Fatalf("%s: no transactions completed", mode.name)
+				}
+				if err := rn.Check(res.PerWorker); err != nil {
+					t.Fatalf("%s (%s): %v", mode.name, mode.cfg.String(), err)
+				}
+			}
+		})
 	}
 }
 

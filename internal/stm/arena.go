@@ -115,6 +115,17 @@ type Config struct {
 	// Lazy switches to commit-time locking (TL2); the default is
 	// eager encounter-time locking, matching the paper's HTM.
 	Lazy bool
+	// CommitBatch, when > 0 in Lazy mode, routes commits through the
+	// per-shard group-commit combiner (batch.go): a committing
+	// transaction either becomes its shard's combiner — acquiring the
+	// merged commit locks once, validating and writing back up to
+	// CommitBatch queued write sets with a single clock advance per
+	// written stripe — or enqueues its descriptor and waits for the
+	// combiner to stamp its outcome into the packed state word. 0
+	// keeps the unbatched commit path (the ablation baseline). The
+	// setting is ignored in eager mode, whose encounter-time locks
+	// cannot be handed off at commit.
+	CommitBatch int
 	// Shards is the number of clock stripes. 0 picks a default sized
 	// to GOMAXPROCS; 1 degenerates to the flat single-clock arena
 	// (the pre-sharding layout, kept as the ablation baseline).
@@ -177,6 +188,9 @@ func (c Config) String() string {
 	if c.KWindow > 0 {
 		mode += fmt.Sprintf("/kw%d", c.KWindow)
 	}
+	if c.Lazy && c.CommitBatch > 0 {
+		mode += fmt.Sprintf("/b%d", c.CommitBatch)
+	}
 	return fmt.Sprintf("%v/%s/%s", c.Policy, name, mode)
 }
 
@@ -222,18 +236,26 @@ type Stats struct {
 	GraceWaits  atomic.Uint64 // conflicts that entered a grace wait
 	Irrevocable atomic.Uint64 // slow-path executions
 	Extensions  atomic.Uint64 // successful stripe-snapshot extensions
+
+	// Group commit (Config.CommitBatch > 0, lazy mode only).
+	Batches      atomic.Uint64 // combiner rounds
+	BatchCommits atomic.Uint64 // write sets committed by a combiner
+	BatchFails   atomic.Uint64 // admissions failed inside a batch
 }
 
 // Snapshot returns a plain-value copy of the counters.
 func (s *Stats) Snapshot() map[string]uint64 {
 	return map[string]uint64{
-		"commits":     s.Commits.Load(),
-		"aborts":      s.Aborts.Load(),
-		"kills":       s.Kills.Load(),
-		"selfAborts":  s.SelfAborts.Load(),
-		"graceWaits":  s.GraceWaits.Load(),
-		"irrevocable": s.Irrevocable.Load(),
-		"extensions":  s.Extensions.Load(),
+		"commits":      s.Commits.Load(),
+		"aborts":       s.Aborts.Load(),
+		"kills":        s.Kills.Load(),
+		"selfAborts":   s.SelfAborts.Load(),
+		"graceWaits":   s.GraceWaits.Load(),
+		"irrevocable":  s.Irrevocable.Load(),
+		"extensions":   s.Extensions.Load(),
+		"batches":      s.Batches.Load(),
+		"batchCommits": s.BatchCommits.Load(),
+		"batchFails":   s.BatchFails.Load(),
 	}
 }
 
@@ -247,6 +269,11 @@ type Runtime struct {
 
 	fallback sync.Mutex // serializes irrevocable transactions
 	txPool   sync.Pool  // reusable Tx descriptors (see Atomic)
+
+	// Group-commit combiner lanes (nil unless Lazy && CommitBatch > 0);
+	// a committing write set maps to batch[lowestWriteIdx & batchMask].
+	batch     []batchShard
+	batchMask int
 
 	kEst *kEstimator // windowed chain estimator (nil when KWindow = 0)
 
@@ -278,6 +305,11 @@ func New(n int, cfg Config) *Runtime {
 	}
 	if cfg.KWindow > 0 {
 		rt.kEst = newKEstimator(cfg.KWindow)
+	}
+	if cfg.Lazy && cfg.CommitBatch > 0 {
+		lanes := defaultBatchShards()
+		rt.batch = make([]batchShard, lanes)
+		rt.batchMask = lanes - 1
 	}
 	return rt
 }

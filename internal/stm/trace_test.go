@@ -203,18 +203,26 @@ func TestTraceKillAccounting(t *testing.T) {
 //  3. the tracing-off path through AtomicWorker costs within 5% of the
 //     legacy Atomic entry (min of interleaved trials, so a leak of
 //     instrumentation work ahead of the nil gate shows up as a stable
-//     regression rather than scheduler noise).
+//     regression rather than scheduler noise);
+//  4. both guarantees survive the batched group-commit path
+//     (Config.CommitBatch > 0): the combiner reuses its scratch across
+//     pooled descriptors, so a steady-state batched commit with
+//     tracing off still allocates nothing and pays no gate cost.
 func TestTraceGateOverhead(t *testing.T) {
-	mk := func(traced *countTracer) *Runtime {
+	mk := func(traced *countTracer, batch int) *Runtime {
 		cfg := DefaultConfig()
 		if traced != nil {
 			cfg.Trace = traced
+		}
+		if batch > 0 {
+			cfg.Lazy = true
+			cfg.CommitBatch = batch
 		}
 		return New(64, cfg)
 	}
 
 	ct := &countTracer{}
-	rtOn := mk(ct)
+	rtOn := mk(ct, 0)
 	r := rng.New(1)
 	for i := 0; i < 100; i++ {
 		_ = rtOn.Atomic(r, func(tx *Tx) error { tx.Store(i%64, 1); return nil })
@@ -223,12 +231,18 @@ func TestTraceGateOverhead(t *testing.T) {
 		t.Fatalf("tracer fired %d times for 100 blocks", ct.n)
 	}
 
-	rtOff := mk(nil)
+	rtOff := mk(nil, 0)
+	rtBatch := mk(nil, 4)
 	if !raceEnabled { // the race detector randomizes sync.Pool reuse
 		if avg := testing.AllocsPerRun(200, func() {
 			_ = rtOff.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
 		}); avg > 0.5 { // tolerate a GC dropping the descriptor pool mid-run
 			t.Errorf("tracing-off transaction allocates %.1f objects/op, want 0", avg)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			_ = rtBatch.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
+		}); avg > 0.5 {
+			t.Errorf("batched tracing-off transaction allocates %.1f objects/op, want 0", avg)
 		}
 	}
 
@@ -251,17 +265,26 @@ func TestTraceGateOverhead(t *testing.T) {
 		}
 		return float64(time.Since(start).Nanoseconds()) / iters
 	}
-	base, off := 1e18, 1e18
-	for trial := 0; trial < 5; trial++ {
-		if v := loop(rtOff, -1); v < base {
-			base = v
+	for _, v := range []struct {
+		name string
+		rt   *Runtime
+	}{
+		{"eager", rtOff},
+		{"lazy-batched", rtBatch},
+	} {
+		base, off := 1e18, 1e18
+		for trial := 0; trial < 5; trial++ {
+			if v := loop(v.rt, -1); v < base {
+				base = v
+			}
+			if v := loop(v.rt, 0); v < off {
+				off = v
+			}
 		}
-		if v := loop(rtOff, 0); v < off {
-			off = v
+		if off > base*1.05 {
+			t.Errorf("%s tracing-off hot path: %.1f ns/op vs %.1f ns/op baseline (>5%% overhead)",
+				v.name, off, base)
 		}
-	}
-	if off > base*1.05 {
-		t.Errorf("tracing-off hot path: %.1f ns/op vs %.1f ns/op baseline (>5%% overhead)", off, base)
 	}
 }
 

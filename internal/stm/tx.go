@@ -13,14 +13,20 @@ import (
 // | status). Only the descriptor's own goroutine advances the epoch
 // (once per attempt, in reset); requestors flip the status of exactly
 // one attempt with a full-state CAS, so a kill can never land on a
-// later attempt of a reused descriptor.
+// later attempt of a reused descriptor. The three batch outcomes are
+// stamped by a group-commit combiner (batch.go) into descriptors
+// queued at its shard; they are the only terminal statuses a waiter
+// retires on, so a drained descriptor is stamped exactly once.
 const (
-	statusActive   uint64 = iota // running optimistically
-	statusKilled                 // a requestor won the conflict
-	statusNoReturn               // committing, past the point of no return
+	statusActive      uint64 = iota // running optimistically
+	statusKilled                    // a requestor won the conflict
+	statusNoReturn                  // committing, past the point of no return
+	statusBatchDone                 // group commit: the combiner committed this write set
+	statusBatchFail                 // group commit: validation/admission failed, retry
+	statusBatchKilled               // group commit: drained while killed, retry as victim
 
-	stateStatusMask uint64 = 3
-	stateEpochShift        = 2
+	stateStatusMask uint64 = 7
+	stateEpochShift        = 3
 )
 
 // txAbort is the panic value used to unwind an aborted transaction.
@@ -78,6 +84,20 @@ type Tx struct {
 	undo []undoEntry
 
 	lockedUpTo int // lazy commit locks acquired (rollback bound)
+
+	// Group commit (batch.go). batchNext links the descriptor into its
+	// shard's queue while it waits for a combiner; the remaining slices
+	// are the combiner-side scratch (roster, merged lock plan, per-lock
+	// owners and pre-acquisition versions, per-member outcomes,
+	// admitted write words), reused across pooled descriptors so a
+	// steady-state batched commit allocates nothing.
+	batchNext     atomic.Pointer[Tx]
+	batchMembers  []*Tx
+	batchLocks    []int
+	batchOwners   []*Tx
+	batchVers     []uint64
+	batchOuts     []uint64
+	batchAdmitted []int
 }
 
 // epoch returns the current attempt epoch.
@@ -463,6 +483,15 @@ func (tx *Tx) commitLazy() {
 		return
 	}
 	sort.Ints(tx.writeIdx)
+	// Group commit (Config.CommitBatch): hand the sorted write set to
+	// the shard combiner instead of fighting for the commit locks
+	// individually. Irrevocable transactions stay on the direct path —
+	// they are already serialized by the fallback token and must not
+	// wait on (or be failed by) a combiner.
+	if tx.rt.batch != nil && !tx.irrevocable.Load() {
+		tx.commitLazyBatched()
+		return
+	}
 	for i, idx := range tx.writeIdx {
 		tx.lockCommit(idx)
 		tx.lockedUpTo = i + 1

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedTrace builds a small but structurally complete trace — a
+// couple of workers, mixed outcomes, footprints, annotations — and
+// returns its serialized bytes. It stands in for `make trace-demo`
+// output so the seed corpus always exists; the real demo trace joins
+// it via testdata/fuzz-seed.trace (written by `make fuzz-trace`).
+func fuzzSeedTrace() []byte {
+	tr := &Trace{
+		Header: Header{
+			Scenario:       "hotspot",
+			Workers:        2,
+			Config:         "requestor-wins/RRW/lazy/b4",
+			CapturedUnixNs: 1700000000000000000,
+		},
+		Records: []Record{
+			{Worker: 0, StartNs: 10, DurNs: 900, Retries: 1, KillsSuffered: 1,
+				Committed: true, Ops: 5, Compute: 60, Think: 10,
+				Reads: []uint32{3, 9}, Writes: []uint32{0, 17}},
+			{Worker: 1, StartNs: 40, DurNs: 300, GraceNs: 120, KillsIssued: 1,
+				Committed: true, Ops: 5, Compute: 42, Think: 10,
+				Writes: []uint32{2}},
+			{Worker: -1, StartNs: 95, DurNs: 50, Committed: false, Irrevocable: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad is the persistence-format fuzz harness: whatever bytes land
+// on disk — truncated files, corrupt versions, bit flips inside a
+// record line — Load must either return the trace with every record
+// the header promises or fail with an error. It must never panic and
+// never silently drop records (a short read that "succeeds" would
+// poison every downstream profile and replay).
+func FuzzLoad(f *testing.F) {
+	valid := fuzzSeedTrace()
+	f.Add(valid)
+	// Truncations: drop the tail mid-record and mid-header.
+	f.Add(valid[:len(valid)-20])
+	f.Add(valid[:15])
+	f.Add([]byte{})
+	// Corrupt version / format.
+	f.Add(bytes.Replace(valid, []byte(`"version":1`), []byte(`"version":99`), 1))
+	f.Add(bytes.Replace(valid, []byte(FormatName), []byte("not-a-trace"), 1))
+	// Count lies about the record lines.
+	f.Add(bytes.Replace(valid, []byte(`"records":3`), []byte(`"records":7`), 1))
+	// Bit flips in a record line and in the header.
+	flip := func(b []byte, i int) []byte {
+		c := append([]byte(nil), b...)
+		c[i%len(c)] ^= 0x20
+		return c
+	}
+	f.Add(flip(valid, 5))
+	f.Add(flip(valid, len(valid)/2))
+	f.Add(flip(valid, len(valid)-3))
+	// Pathological inputs: no newline, huge count, raw JSON array.
+	f.Add([]byte(`{"format":"txconflict-trace","version":1,"records":1000000}`))
+	f.Add([]byte(`[1,2,3]`))
+	// The trace-demo artifact, when `make fuzz-trace` has run.
+	if demo, err := os.ReadFile(filepath.Join("testdata", "fuzz-seed.trace")); err == nil {
+		f.Add(demo)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.trace")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Load(path)
+		if err != nil {
+			return // rejecting corrupt input is the contract
+		}
+		// Accepted: the trace must be internally complete and
+		// re-serializable.
+		if len(tr.Records) != tr.Header.Count {
+			t.Fatalf("accepted trace with %d records but header count %d",
+				len(tr.Records), tr.Header.Count)
+		}
+		if tr.Header.Format != FormatName {
+			t.Fatalf("accepted trace with format %q", tr.Header.Format)
+		}
+		if tr.Header.Version < 1 || tr.Header.Version > FormatVersion {
+			t.Fatalf("accepted trace with version %d", tr.Header.Version)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-serializing an accepted trace: %v", err)
+		}
+		rt, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of an accepted trace: %v", err)
+		}
+		if len(rt.Records) != len(tr.Records) {
+			t.Fatalf("round trip dropped records: %d -> %d", len(tr.Records), len(rt.Records))
+		}
+	})
+}

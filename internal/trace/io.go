@@ -68,7 +68,14 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	tr := &Trace{Header: h}
 	if h.Count > 0 {
-		tr.Records = make([]Record, 0, h.Count)
+		// Trust the header's count for sizing only up to a bound: a
+		// corrupt count must not commit us to a huge allocation before
+		// a single record has parsed (found by FuzzLoad).
+		c := h.Count
+		if c > 4096 {
+			c = 4096
+		}
+		tr.Records = make([]Record, 0, c)
 	}
 	for sc.Scan() {
 		line := sc.Bytes()

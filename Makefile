@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short scenario-parity bench bench-stm bench-batch trace-demo fuzz-trace tidy
+.PHONY: all build vet test race-short scenario-parity smoke-txkv bench bench-stm bench-batch bench-txkv trace-demo fuzz-trace tidy
 
 all: build vet test
 
@@ -20,9 +20,11 @@ test:
 # (internal/stm: goroutine STM; internal/htm: simulator driven from
 # worker goroutines; internal/scenario: the cross-backend parity
 # suite; internal/trace + internal/experiments: recorded runs and the
-# trace-fidelity loop). -short keeps it inside CI budgets.
+# trace-fidelity loop; internal/txkv: the keyed store's workload
+# invariant matrix and serving pool). -short keeps it inside CI
+# budgets.
 race-short:
-	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/ ./internal/trace/ ./internal/experiments/
+	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/ ./internal/trace/ ./internal/experiments/ ./internal/txkv/
 
 # Cross-backend scenario parity plus the cross-mode (eager vs lazy vs
 # lazy+batched) equivalence suite: every registry scenario on both
@@ -31,6 +33,12 @@ race-short:
 # cell pins STM_COMMIT_BATCH=4).
 scenario-parity:
 	$(GO) test -race -count=1 -run 'TestScenarioParity|TestCrossMode' ./internal/scenario/
+
+# End-to-end txkv serving smoke under the race detector: every keyed
+# workload over HTTP (httptest), one AtomicWorker per pool worker,
+# structural + semantic invariants verified after shutdown.
+smoke-txkv:
+	$(GO) test -race -count=1 -run 'TestTxkvdSmoke|TestServerEndpoints' ./internal/txkv/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -47,6 +55,13 @@ bench-stm:
 # parallelism (see BenchmarkSTMCommitBatch's doc comment).
 bench-batch:
 	$(GO) test -run '^$$' -bench STMCommitBatch -cpu 8 -benchtime 300ms .
+
+# Machine-readable keyed-store perf trajectory: verified keyed
+# ops/sec for every txkv workload on all three commit paths (eager /
+# lazy / lazy+batch4) at GOMAXPROCS 1/4/8. CI runs this as a
+# non-blocking step and uploads the snapshot.
+bench-txkv:
+	$(GO) run ./cmd/txkvd -perf -out BENCH_txkv.json
 
 # The Section 1 profile-to-simulation loop, end to end: record a
 # short contended hotspot run on the STM runtime, replay the

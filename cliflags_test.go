@@ -1,0 +1,82 @@
+package txconflict_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestCmdFlagValidation pins the shared front-end convention
+// (internal/cliutil) across every command with registry-backed
+// selector flags: an unknown -scenario / -workload / -dist value must
+// exit with status 2 and print the sorted registered names, so a typo
+// is a one-round-trip fix instead of a silent fallback.
+func TestCmdFlagValidation(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bindir := t.TempDir()
+	bins := map[string]string{}
+	for _, cmd := range []string{"stmbench", "txsim", "txkvd"} {
+		bin := filepath.Join(bindir, cmd)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+		bins[cmd] = bin
+	}
+
+	cases := []struct {
+		name string
+		cmd  string
+		args []string
+		want string // substring of stderr
+		list string // when set, the suggestion list after this prefix must be sorted
+	}{
+		{"stmbench scenario", "stmbench", []string{"-scenario", "nope"},
+			`stmbench: unknown scenario "nope"`, "registered scenarios: "},
+		{"txsim scenario", "txsim", []string{"-scenario", "nope"},
+			`txsim: unknown scenario "nope"`, "registered scenarios: "},
+		{"txkvd workload", "txkvd", []string{"-workload", "nope"},
+			`txkvd: unknown workload "nope"; registered workloads: document, hotspot-counter, readmostly`, ""},
+		{"txkvd mode", "txkvd", []string{"-mode", "weird"},
+			`txkvd: unknown mode "weird"`, ""},
+		{"stmbench dist", "stmbench", []string{"-scenario", "hotspot", "-dist", "nope"},
+			"nope", ""},
+		{"txkvd dist", "txkvd", []string{"-bench", "-dist", "nope"},
+			"nope", ""},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cmd := exec.Command(bins[c.cmd], c.args...)
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("%s %v: err = %v, want exit error (stderr %q)", c.cmd, c.args, err, stderr.String())
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("%s %v: exit %d, want 2 (stderr %q)", c.cmd, c.args, code, stderr.String())
+			}
+			msg := stderr.String()
+			if !strings.Contains(msg, c.want) {
+				t.Fatalf("%s %v: stderr %q lacks %q", c.cmd, c.args, msg, c.want)
+			}
+			if c.list != "" {
+				i := strings.Index(msg, c.list)
+				if i < 0 {
+					t.Fatalf("%s %v: stderr %q lacks %q", c.cmd, c.args, msg, c.list)
+				}
+				names := strings.Split(strings.TrimSpace(msg[i+len(c.list):]), ", ")
+				if !sort.StringsAreSorted(names) {
+					t.Fatalf("%s %v: suggestions not sorted: %v", c.cmd, c.args, names)
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"txconflict/internal/cliutil"
 	"txconflict/internal/core"
 	"txconflict/internal/dist"
 	"txconflict/internal/experiments"
@@ -100,15 +101,14 @@ func main() {
 		smp, err := dist.ByName(*distName, *mu)
 		if err != nil {
 			// The error already carries the sorted registered names.
-			fmt.Fprintln(os.Stderr, "stmbench:", err)
-			os.Exit(2)
+			cliutil.Fatal("stmbench", err)
 		}
 		cfg.Length = smp
 	}
-	if sel != "all" && !scenario.Known(sel) {
-		fmt.Fprintf(os.Stderr, "stmbench: unknown scenario %q; registered scenarios: %s\n",
-			sel, strings.Join(scenario.Names(), ", "))
-		os.Exit(2)
+	if sel != "all" {
+		if err := cliutil.CheckName("scenario", sel, scenario.Names()); err != nil {
+			cliutil.Fatal("stmbench", err)
+		}
 	}
 	if *levels != "" {
 		var gs []int

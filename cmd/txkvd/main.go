@@ -1,0 +1,223 @@
+// Command txkvd serves the transactional key-value store
+// (internal/txkv) over HTTP and drives it with the closed-loop load
+// generator — the serving front-end that turns the STM word arena
+// into an end-to-end keyed system: batch requests execute on a fixed
+// pool of transaction workers, one stm.AtomicWorker identity per pool
+// worker.
+//
+// Usage:
+//
+//	txkvd                                    # serve on -addr
+//	txkvd -mode lazy -batch 4 -workers 8     # lazy group-commit pool
+//	txkvd -workload list                     # list keyed workloads
+//	txkvd -bench -workload hotspot-counter   # in-process closed loop
+//	txkvd -load http://127.0.0.1:7070 -users 8 -workload document
+//	txkvd -perf -out BENCH_txkv.json         # CI perf snapshot
+//
+// Endpoints: POST /v1/batch, GET /v1/stats, GET /v1/check,
+// GET /healthz.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"txconflict/internal/cliutil"
+	"txconflict/internal/dist"
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+	"txconflict/internal/txkv"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "listen address (serve mode)")
+		capacity = flag.Int("capacity", 0, "store bucket count (0 = sized for -workload, else 2048)")
+		workers  = flag.Int("workers", 4, "transaction worker pool size (one stm.AtomicWorker each)")
+		mode     = flag.String("mode", "eager", "locking mode: eager or lazy")
+		batch    = flag.Int("batch", 0, "lazy group-commit batch bound (0 = unbatched; > 0 implies -mode lazy)")
+		shards   = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
+		workload = flag.String("workload", "", "keyed workload from internal/txkv (or 'list'); drives -bench/-load/-perf and sizes the served store")
+		distName = flag.String("dist", "", "override the workload's key-rank sampler (see internal/dist; '' = workload zipf default)")
+		mu       = flag.Float64("mu", 0, "mean of the -dist override, in key ranks (0 = half the keyspace)")
+		users    = flag.Uint("users", 4, "closed-loop users (-bench/-load)")
+		bsize    = flag.Int("batchsize", 16, "ops per batch request (-bench/-load)")
+		dur      = flag.Duration("duration", 300*time.Millisecond, "load run duration (-bench/-load; per cell in -perf)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		load     = flag.String("load", "", "drive a running txkvd at this base URL instead of serving")
+		bench    = flag.Bool("bench", false, "run the workload closed-loop against an in-process store and exit")
+		perf     = flag.Bool("perf", false, "emit the JSON perf snapshot (keyed ops/sec at 1/4/8 procs)")
+		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
+	)
+	flag.Parse()
+
+	if *workload == "list" {
+		for _, line := range txkv.Describe() {
+			fmt.Println(line)
+		}
+		return
+	}
+	if *workload != "" {
+		if err := cliutil.CheckName("workload", *workload, txkv.Names()); err != nil {
+			cliutil.Fatal("txkvd", err)
+		}
+	}
+	if *mode != "eager" && *mode != "lazy" {
+		cliutil.Fatal("txkvd", fmt.Errorf("unknown mode %q; modes: eager, lazy", *mode))
+	}
+
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = *mode == "lazy" || *batch > 0 // the combiner only exists in lazy mode
+	cfg.CommitBatch = *batch
+	cfg.Shards = *shards
+
+	if *perf {
+		// The perf matrix sweeps all three commit modes itself; only
+		// the lazy+batch bound carries over from the flags.
+		runPerf(*workload, *batch, *dur, *seed, *out)
+		return
+	}
+
+	// Everything below needs a concrete workload; default to the
+	// read-dominated shape for serving and ad-hoc runs.
+	wname := *workload
+	if wname == "" {
+		wname = "readmostly"
+	}
+	opt := txkv.Options{}
+	if *distName != "" {
+		w0, err := txkv.ByName(wname, txkv.Options{})
+		if err != nil {
+			cliutil.Fatal("txkvd", err)
+		}
+		m := *mu
+		if m <= 0 {
+			m = float64(w0.Keys()) / 2
+		}
+		smp, err := dist.ByName(*distName, m)
+		if err != nil {
+			// The error already carries the sorted registered names.
+			cliutil.Fatal("txkvd", err)
+		}
+		opt.KeyDist = smp
+	}
+	w, err := txkv.ByName(wname, opt)
+	if err != nil {
+		cliutil.Fatal("txkvd", err)
+	}
+
+	g := txkv.GenConfig{
+		Users:    int(*users),
+		Batch:    *bsize,
+		Duration: *dur,
+		Seed:     *seed,
+	}
+
+	switch {
+	case *bench:
+		s := w.NewStore(txkv.Config{Capacity: *capacity, STM: cfg})
+		res, err := w.RunLocal(s, g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txkvd:", err)
+			os.Exit(1)
+		}
+		snap := s.Runtime().Stats.Snapshot()
+		fmt.Printf("%s: %.0f ops/sec (%d ops, %d users, %d commits, %d aborts, mode %s)\n",
+			w.Name(), res.OpsPerSec(), res.Ops, g.Users, snap["commits"], snap["aborts"], modeLabel(cfg))
+	case *load != "":
+		runRemote(w, *load, g)
+	default:
+		serve(w, *addr, *capacity, *workers, *seed, cfg)
+	}
+}
+
+func modeLabel(cfg stm.Config) string {
+	switch {
+	case cfg.Lazy && cfg.CommitBatch > 0:
+		return fmt.Sprintf("lazy+batch%d", cfg.CommitBatch)
+	case cfg.Lazy:
+		return "lazy"
+	default:
+		return "eager"
+	}
+}
+
+// serve runs the HTTP front-end until the process is killed. The
+// store is sized for the selected workload unless -capacity is set.
+func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cfg stm.Config) {
+	s := w.NewStore(txkv.Config{Capacity: capacity, STM: cfg})
+	sv := txkv.NewServer(s, workers, seed)
+	defer sv.Close()
+	fmt.Printf("txkvd: serving on %s (workload %s, capacity %d, %d workers, mode %s)\n",
+		addr, w.Name(), w.Capacity(), workers, modeLabel(cfg))
+	if err := http.ListenAndServe(addr, sv); err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+}
+
+// runRemote drives a running txkvd over HTTP with the closed-loop
+// generator, then asks the server to verify its structural invariants
+// (meaningful only once traffic has stopped — ours just did).
+func runRemote(w *txkv.Workload, base string, g txkv.GenConfig) {
+	res, err := w.Run(func(int, *rng.Rand) txkv.Client {
+		return &txkv.HTTPClient{Base: base}
+	}, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s @ %s: %.0f ops/sec (%d ops, %d users)\n",
+		w.Name(), base, res.OpsPerSec(), res.Ops, g.Users)
+	resp, err := http.Get(base + "/v1/check")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "txkvd: server invariant check failed: %s", msg)
+		os.Exit(1)
+	}
+	fmt.Println("server invariants ok")
+}
+
+// runPerf emits the machine-readable keyed-throughput snapshot for CI
+// (make bench-txkv): workload x commit mode x GOMAXPROCS, every cell
+// verified against the structural and semantic invariants.
+func runPerf(workload string, commitBatch int, dur time.Duration, seed uint64, out string) {
+	pc := txkv.PerfConfig{
+		CommitBatch: commitBatch,
+		Duration:    dur,
+		Seed:        seed,
+	}
+	if workload != "" {
+		pc.Workloads = []string{workload}
+	}
+	rep, err := txkv.Perf(pc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", out, len(rep.Cells))
+}

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"txconflict/internal/cliutil"
 	"txconflict/internal/core"
 	"txconflict/internal/dist"
 	"txconflict/internal/experiments"
@@ -111,15 +112,14 @@ func main() {
 		smp, err := dist.ByName(*distName, *mu)
 		if err != nil {
 			// The error already carries the sorted registered names.
-			fmt.Fprintln(os.Stderr, "txsim:", err)
-			os.Exit(2)
+			cliutil.Fatal("txsim", err)
 		}
 		cfg.Length = smp
 	}
-	if sel != "all" && !scenario.Known(sel) {
-		fmt.Fprintf(os.Stderr, "txsim: unknown scenario %q; registered scenarios: %s\n",
-			sel, strings.Join(scenario.Names(), ", "))
-		os.Exit(2)
+	if sel != "all" {
+		if err := cliutil.CheckName("scenario", sel, scenario.Names()); err != nil {
+			cliutil.Fatal("txsim", err)
+		}
 	}
 
 	benches := []string{sel}

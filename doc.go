@@ -46,6 +46,22 @@
 // (stmbench -record/-replay/-fidelity, txsim -replay,
 // experiments.TraceFidelity).
 //
+// internal/txkv takes the runtime end-to-end: a transactional
+// key-value store built entirely on the STM word arena — an
+// open-addressing hash map whose buckets, values and per-value-class
+// linked secondary index live in arena words, so every probe, insert
+// and index relink is ordinary tx.Load/tx.Store traffic and the
+// conflict policies, grace strategies and group commit apply
+// unchanged — plus multi-key document updates, keyed counters, a
+// catalog of zipf-skewed workloads (readmostly, hotspot-counter,
+// document) with structural and semantic invariant checks, a
+// closed-loop load generator, and the cmd/txkvd HTTP front-end
+// (batch requests on a fixed pool of stm.AtomicWorker identities;
+// -perf emits the BENCH_txkv.json keyed-throughput matrix). The same
+// traffic shapes are registered in the scenario catalog as
+// kvcounter/kvread/kvdoc, so both backends exercise keyed conflict
+// patterns in the parity suites.
+//
 // Harnesses regenerating every figure of the paper's evaluation live
 // in internal/synth, internal/adversary and internal/experiments;
 // see bench_test.go, cmd/, internal/README.md and EXPERIMENTS.md.

@@ -1,0 +1,40 @@
+// Package cliutil implements the shared flag conventions of the cmd/
+// front-ends: registry-backed selector flags (-scenario, -workload)
+// reject unknown values up front with the sorted registered names and
+// exit status 2, matching the error shape dist.ByName produces for
+// -dist — so every command suggests alternatives the same way and
+// scripts can rely on the exit code.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// exit is swapped out by tests; everything else goes through Fatal.
+var exit = os.Exit
+
+// CheckName validates a registry-backed selector: name must be one of
+// names. On failure the error lists the registered names in sorted
+// order, mirroring dist.ByName.
+func CheckName(kind, name string, names []string) error {
+	for _, n := range names {
+		if n == name {
+			return nil
+		}
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return fmt.Errorf("unknown %s %q; registered %ss: %s",
+		kind, name, kind, strings.Join(sorted, ", "))
+}
+
+// Fatal reports a usage-level error the way every front-end does:
+// "<cmd>: <err>" on stderr, exit status 2 (the flag package's own
+// usage-error status).
+func Fatal(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	exit(2)
+}

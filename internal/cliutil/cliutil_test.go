@@ -1,0 +1,43 @@
+package cliutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckNameAccepts(t *testing.T) {
+	if err := CheckName("scenario", "stack", []string{"queue", "stack"}); err != nil {
+		t.Fatalf("known name rejected: %v", err)
+	}
+}
+
+func TestCheckNameRejectsWithSortedSuggestions(t *testing.T) {
+	names := []string{"zeta", "alpha", "mid"}
+	err := CheckName("workload", "nope", names)
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown workload "nope"`) {
+		t.Fatalf("message lacks the kind and value: %q", msg)
+	}
+	if !strings.Contains(msg, "registered workloads: alpha, mid, zeta") {
+		t.Fatalf("suggestions missing or unsorted: %q", msg)
+	}
+	// The input slice must not be reordered in place.
+	if names[0] != "zeta" || names[2] != "mid" {
+		t.Fatalf("CheckName mutated its input: %v", names)
+	}
+}
+
+func TestFatalExitsWithStatus2(t *testing.T) {
+	var got int
+	old := exit
+	exit = func(code int) { got = code }
+	defer func() { exit = old }()
+	Fatal("somecmd", errors.New("boom"))
+	if got != 2 {
+		t.Fatalf("Fatal exited with %d, want 2", got)
+	}
+}

@@ -12,7 +12,7 @@ import (
 
 func TestNamesAndByName(t *testing.T) {
 	names := Names()
-	want := []string{"bimodal", "hotspot", "longreader", "queue", "readmostly", "stack", "txapp"}
+	want := []string{"bimodal", "hotspot", "kvcounter", "kvdoc", "kvread", "longreader", "queue", "readmostly", "stack", "txapp"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

@@ -54,8 +54,11 @@
 // Descriptors are reused across retries of the same atomic block, so
 // "the receiver" must mean one *attempt*, not one descriptor. Each
 // descriptor therefore packs an attempt epoch and a status into a
-// single atomic state word (epoch<<2 | status); every retry bumps
-// the epoch. A requestor captures the receiver's (epoch, status) when
+// single atomic state word (epoch << stateEpochShift | status, with
+// stateEpochShift = 3: the status field is three bits wide since the
+// group commit added its three terminal outcomes — batchDone,
+// batchFail, batchKilled — to active/killed/noReturn); every retry
+// bumps the epoch. A requestor captures the receiver's (epoch, status) when
 // its wait begins, kills with a CAS against exactly that state, and
 // treats any epoch change as "the lock moved on". A stale requestor
 // can thus never kill a later attempt, and never mistakes a later

@@ -137,6 +137,18 @@ func (rt *Runtime) policyFor(k int) core.Policy {
 	return core.RequestorWins
 }
 
+// maxGrace caps the grace period a strategy can request. Strategies
+// price delays against the abort cost B (microseconds to
+// milliseconds), so a minute is far beyond any useful grace — but it
+// keeps a misbehaving strategy finite: +Inf, NaN-adjacent, or any
+// value above MaxInt64 nanoseconds would otherwise survive the
+// negative/NaN guard below and hit the float64→time.Duration
+// conversion, whose overflow behaviour is implementation-defined —
+// on amd64 it produces math.MinInt64, i.e. a *negative* duration
+// that silently collapses the grace period to zero and turns the
+// configured strategy into NO_DELAY.
+const maxGrace = time.Minute
+
 // graceFor evaluates the strategy for a conflict with the given
 // receiver, chain length estimate and per-conflict policy.
 func (tx *Tx) graceFor(owner *Tx, k int, pol core.Policy) time.Duration {
@@ -167,6 +179,9 @@ func (tx *Tx) graceFor(owner *Tx, k int, pol core.Policy) time.Duration {
 	x := s.Delay(conf, tx.rng)
 	if x < 0 || math.IsNaN(x) {
 		x = 0
+	}
+	if x > float64(maxGrace) {
+		x = float64(maxGrace)
 	}
 	return time.Duration(x)
 }

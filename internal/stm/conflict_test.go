@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -198,5 +199,51 @@ func TestChainEstimateDistinct(t *testing.T) {
 		if owner.waiters.Load() != n {
 			t.Fatalf("waiter count = %d, want %d", owner.waiters.Load(), n)
 		}
+	}
+}
+
+// TestGraceForClampsOverflow is the regression test for the
+// float64→time.Duration overflow in graceFor: a strategy returning
+// +Inf (or any nanosecond value above MaxInt64) passed the
+// `x < 0 || NaN` guard and converted to an implementation-defined —
+// on amd64, negative — duration, silently collapsing the configured
+// grace period to zero. Non-finite and overflowing delays must now
+// clamp to the finite maxGrace; negative and NaN delays still floor
+// to zero, and sane delays pass through untouched.
+func TestGraceForClampsOverflow(t *testing.T) {
+	cases := []struct {
+		name  string
+		delay float64
+		want  time.Duration
+	}{
+		{"+Inf", math.Inf(1), maxGrace},
+		{"above MaxInt64 ns", 2 * float64(math.MaxInt64), maxGrace},
+		{"just above cap", float64(maxGrace) * 1.5, maxGrace},
+		{"NaN", math.NaN(), 0},
+		{"negative", -5, 0},
+		{"-Inf", math.Inf(-1), 0},
+		{"sane", 1500, 1500 * time.Nanosecond},
+		{"at cap", float64(maxGrace), maxGrace},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Strategy = unclampedGrace(c.delay)
+			rt := New(1, cfg)
+			now := time.Now().UnixNano()
+			owner := &Tx{rt: rt}
+			owner.startNanos.Store(now)
+			tx := &Tx{rt: rt}
+			tx.startNanos.Store(now)
+			for _, pol := range []core.Policy{core.RequestorWins, core.RequestorAborts} {
+				got := tx.graceFor(owner, 2, pol)
+				if got < 0 {
+					t.Fatalf("policy %v: grace %v is negative (overflow leaked through)", pol, got)
+				}
+				if got != c.want {
+					t.Fatalf("policy %v: grace = %v, want %v", pol, got, c.want)
+				}
+			}
+		})
 	}
 }

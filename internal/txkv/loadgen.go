@@ -1,0 +1,171 @@
+package txkv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"txconflict/internal/rng"
+)
+
+// Client executes one batch of ops — either in-process against a
+// Store (LocalClient) or over HTTP against a txkvd server
+// (HTTPClient in server.go).
+type Client interface {
+	Do(ops []Op) ([]Result, error)
+}
+
+// LocalClient runs batches directly on a store, tagging transactions
+// with a fixed worker id. One LocalClient per goroutine.
+type LocalClient struct {
+	Store  *Store
+	Worker int
+	R      *rng.Rand
+}
+
+// Do implements Client.
+func (c *LocalClient) Do(ops []Op) ([]Result, error) {
+	return c.Store.ApplyBatch(c.Worker, c.R, ops), nil
+}
+
+// GenConfig tunes one closed-loop load run.
+type GenConfig struct {
+	// Users is the number of concurrent closed-loop users; each runs
+	// on its own goroutine with its own random stream and client.
+	Users int
+	// Batch is the ops per request (default 16) — the network
+	// amortization knob, mirroring production batch endpoints.
+	Batch int
+	// Duration bounds the run (default 200ms).
+	Duration time.Duration
+	// Seed makes op streams reproducible.
+	Seed uint64
+}
+
+// GenResult summarizes one load run.
+type GenResult struct {
+	// Ops is the total completed (responded) operations.
+	Ops uint64
+	// PerUser counts completed ops per user.
+	PerUser []uint64
+	// ElapsedSec is the measured wall-clock duration.
+	ElapsedSec float64
+	// Totals aggregates every user's semantic bookkeeping for the
+	// workload's final check.
+	Totals Totals
+}
+
+// OpsPerSec returns the measured keyed-operation throughput.
+func (g GenResult) OpsPerSec() float64 {
+	if g.ElapsedSec <= 0 {
+		return 0
+	}
+	return float64(g.Ops) / g.ElapsedSec
+}
+
+// Run drives the workload closed-loop: each user draws a batch from
+// its working set, issues it through its client, validates every
+// response, and immediately issues the next. newClient is called
+// once per user (u is the user index; r is a dedicated stream for
+// the client's own transactions). The first transport or validation
+// error aborts the run.
+func (w *Workload) Run(newClient func(u int, r *rng.Rand) Client, g GenConfig) (GenResult, error) {
+	if g.Users <= 0 {
+		g.Users = 1
+	}
+	if g.Batch <= 0 {
+		g.Batch = 16
+	}
+	if g.Duration <= 0 {
+		g.Duration = 200 * time.Millisecond
+	}
+	root := rng.New(g.Seed)
+	res := GenResult{PerUser: make([]uint64, g.Users)}
+	users := make([]*User, g.Users)
+	errs := make([]error, g.Users)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for u := 0; u < g.Users; u++ {
+		u := u
+		ru := root.Split()  // op-stream randomness
+		rc := root.Split()  // client/transaction randomness
+		usr := w.NewUser(u) // per-user closed-loop state
+		users[u] = usr
+		client := newClient(u, rc)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]Op, g.Batch)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range batch {
+					batch[i] = usr.Next(ru)
+				}
+				results, err := client.Do(batch)
+				if err != nil {
+					errs[u] = fmt.Errorf("txkv: user %d: %w", u, err)
+					return
+				}
+				if len(results) != len(batch) {
+					errs[u] = fmt.Errorf("txkv: user %d: %d results for %d ops",
+						u, len(results), len(batch))
+					return
+				}
+				if usr.Observe != nil {
+					for i, r := range results {
+						if err := usr.Observe(batch[i], r); err != nil {
+							errs[u] = err
+							return
+						}
+					}
+				}
+				res.PerUser[u] += uint64(len(batch))
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(g.Duration)
+	close(stop)
+	wg.Wait()
+	res.ElapsedSec = time.Since(start).Seconds()
+	for u, usr := range users {
+		if errs[u] != nil {
+			return res, errs[u]
+		}
+		res.Ops += res.PerUser[u]
+		res.Totals.merge(usr.totals)
+	}
+	if res.Ops == 0 {
+		return res, fmt.Errorf("txkv: workload %s completed no operations", w.name)
+	}
+	return res, nil
+}
+
+// RunLocal is Run against an in-process store, one LocalClient (and
+// worker id) per user, followed by the full verification: the
+// store's structural invariants and the workload's semantic check.
+func (w *Workload) RunLocal(s *Store, g GenConfig) (GenResult, error) {
+	res, err := w.Run(func(u int, r *rng.Rand) Client {
+		return &LocalClient{Store: s, Worker: u, R: r}
+	}, g)
+	if err != nil {
+		return res, err
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return res, err
+	}
+	return res, w.Check(s, res.Totals)
+}
+
+// NewStore builds a store sized for the workload on the given STM
+// configuration.
+func (w *Workload) NewStore(cfg Config) *Store {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = w.Capacity()
+	}
+	return New(cfg)
+}

@@ -1,0 +1,84 @@
+package txkv
+
+import (
+	"fmt"
+
+	"txconflict/internal/rng"
+)
+
+// Op is one keyed operation in a batch request — the wire unit of
+// the txkvd front-end and the load generator. Kind selects the
+// operation; unused fields are ignored.
+type Op struct {
+	Kind   string `json:"op"`
+	Key    uint64 `json:"key"`
+	Val    uint64 `json:"val,omitempty"`
+	Fields int    `json:"fields,omitempty"` // document ops
+}
+
+// Op kinds. Each op executes as its own transaction; a batch
+// amortizes the network round trip, not the commit.
+const (
+	KindGet       = "get"
+	KindPut       = "put"
+	KindDelete    = "del"
+	KindAdd       = "add"
+	KindUpdateDoc = "updatedoc"
+	KindReadDoc   = "readdoc"
+)
+
+// Result is one op's outcome. Err carries user-level errors (map
+// full, bad key, unknown kind); transactional retries never surface
+// here — the runtime retries until commit.
+type Result struct {
+	Val   uint64   `json:"val,omitempty"`
+	Vals  []uint64 `json:"vals,omitempty"` // readdoc
+	Found bool     `json:"found,omitempty"`
+	Err   string   `json:"err,omitempty"`
+}
+
+// Apply executes one op as a transaction on the store.
+func (s *Store) Apply(worker int, r *rng.Rand, op Op) Result {
+	switch op.Kind {
+	case KindGet:
+		v, ok, err := s.Get(worker, r, op.Key)
+		return result(Result{Val: v, Found: ok}, err)
+	case KindPut:
+		return result(Result{}, s.Put(worker, r, op.Key, op.Val))
+	case KindDelete:
+		ok, err := s.Delete(worker, r, op.Key)
+		return result(Result{Found: ok}, err)
+	case KindAdd:
+		v, err := s.Add(worker, r, op.Key, op.Val)
+		return result(Result{Val: v}, err)
+	case KindUpdateDoc:
+		if op.Fields <= 0 {
+			return Result{Err: "txkv: updatedoc with no fields"}
+		}
+		return result(Result{}, s.UpdateDoc(worker, r, op.Key, op.Fields, op.Val))
+	case KindReadDoc:
+		if op.Fields <= 0 {
+			return Result{Err: "txkv: readdoc with no fields"}
+		}
+		vals, err := s.ReadDoc(worker, r, op.Key, op.Fields)
+		return result(Result{Vals: vals}, err)
+	default:
+		return Result{Err: fmt.Sprintf("txkv: unknown op kind %q", op.Kind)}
+	}
+}
+
+// ApplyBatch executes a batch in order, one transaction per op.
+func (s *Store) ApplyBatch(worker int, r *rng.Rand, ops []Op) []Result {
+	out := make([]Result, len(ops))
+	for i, op := range ops {
+		out[i] = s.Apply(worker, r, op)
+	}
+	return out
+}
+
+func result(res Result, err error) Result {
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}

@@ -1,0 +1,198 @@
+package txkv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"txconflict/internal/rng"
+)
+
+// maxBatchOps bounds one request's batch so a single POST cannot
+// preallocate unbounded result buffers (the same hardening the trace
+// loader got after fuzzing).
+const maxBatchOps = 4096
+
+// Server is the txkvd serving core: an http.Handler that executes
+// batch requests on a fixed pool of transaction workers, one
+// stm.AtomicWorker identity per pool worker — so per-worker trace
+// buffers stay contention-free and conflict stats attribute cleanly.
+// cmd/txkvd wraps it in an http.Server; tests drive it through
+// httptest.
+type Server struct {
+	store *Store
+
+	jobs   chan job
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+type job struct {
+	ops   []Op
+	reply chan []Result
+}
+
+// NewServer starts workers pool goroutines around the store.
+func NewServer(store *Store, workers int, seed uint64) *Server {
+	if workers <= 0 {
+		workers = 4
+	}
+	sv := &Server{
+		store: store,
+		jobs:  make(chan job),
+		quit:  make(chan struct{}),
+	}
+	root := rng.New(seed)
+	for w := 0; w < workers; w++ {
+		w := w
+		r := root.Split()
+		sv.wg.Add(1)
+		go func() {
+			defer sv.wg.Done()
+			for {
+				select {
+				case <-sv.quit:
+					return
+				case j := <-sv.jobs:
+					j.reply <- sv.store.ApplyBatch(w, r, j.ops)
+				}
+			}
+		}()
+	}
+	return sv
+}
+
+// Store returns the served store (for post-shutdown verification).
+func (sv *Server) Store() *Store { return sv.store }
+
+// Close drains the worker pool. In-flight requests racing Close may
+// fail with "server closed"; callers should stop traffic first.
+func (sv *Server) Close() {
+	if sv.closed.CompareAndSwap(false, true) {
+		close(sv.quit)
+		sv.wg.Wait()
+	}
+}
+
+// Exec dispatches one batch to the worker pool and waits for its
+// results.
+func (sv *Server) Exec(ops []Op) ([]Result, error) {
+	if len(ops) > maxBatchOps {
+		return nil, fmt.Errorf("txkv: batch of %d ops exceeds the %d-op limit", len(ops), maxBatchOps)
+	}
+	if sv.closed.Load() {
+		return nil, fmt.Errorf("txkv: server closed")
+	}
+	j := job{ops: ops, reply: make(chan []Result, 1)}
+	select {
+	case sv.jobs <- j:
+		return <-j.reply, nil
+	case <-sv.quit:
+		return nil, fmt.Errorf("txkv: server closed")
+	}
+}
+
+// batchRequest and batchResponse are the /v1/batch wire format.
+type batchRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+type batchResponse struct {
+	Results []Result `json:"results"`
+}
+
+// ServeHTTP implements the front-end API:
+//
+//	POST /v1/batch   {"ops":[{"op":"put","key":1,"val":2},...]}
+//	GET  /v1/stats   committed size + runtime counters
+//	GET  /v1/check   structural invariants (quiescent stores only)
+//	GET  /healthz    liveness
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/batch":
+		sv.handleBatch(w, r)
+	case "/v1/stats":
+		writeJSON(w, map[string]any{
+			"len":    sv.store.Len(),
+			"stm":    sv.store.Runtime().Stats.Snapshot(),
+			"config": sv.store.Runtime().Config().String(),
+		})
+	case "/v1/check":
+		if err := sv.store.CheckInvariants(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	case "/healthz":
+		fmt.Fprintln(w, "ok")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	results, err := sv.Exec(req.Ops)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, batchResponse{Results: results})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// HTTPClient drives a txkvd server over the batch endpoint; it
+// implements Client, so the load generator runs unchanged against a
+// remote store.
+type HTTPClient struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7070".
+	Base string
+	// C is the underlying HTTP client (nil = http.DefaultClient).
+	C *http.Client
+}
+
+// Do implements Client.
+func (h *HTTPClient) Do(ops []Op) ([]Result, error) {
+	body, err := json.Marshal(batchRequest{Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	c := h.C
+	if c == nil {
+		c = http.DefaultClient
+	}
+	resp, err := c.Post(h.Base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("txkv: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	return br.Results, nil
+}

@@ -1,0 +1,129 @@
+package txkv
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+)
+
+// TestTxkvdSmoke is the CI smoke test for the serving stack (make
+// smoke-txkv): start the txkvd core behind a real HTTP listener,
+// drive batched requests from the closed-loop load generator over
+// the wire for every registered workload, then verify the store's
+// structural invariants, the workload's semantic check, and a clean
+// pool shutdown. Runs under -race.
+func TestTxkvdSmoke(t *testing.T) {
+	for _, wname := range Names() {
+		t.Run(wname, func(t *testing.T) {
+			w, err := ByName(wname, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := stm.DefaultConfig()
+			cfg.Lazy = true
+			cfg.CommitBatch = 4 // serve through the group-commit combiner
+			store := w.NewStore(Config{STM: cfg})
+			sv := NewServer(store, 4, 42)
+			ts := httptest.NewServer(sv)
+
+			d := 80 * time.Millisecond
+			if testing.Short() {
+				d = 30 * time.Millisecond
+			}
+			res, err := w.Run(func(u int, r *rng.Rand) Client {
+				return &HTTPClient{Base: ts.URL}
+			}, GenConfig{Users: 4, Batch: 16, Duration: d, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no operations served")
+			}
+			t.Logf("%s: %d keyed ops over HTTP (%.0f ops/sec)", wname, res.Ops, res.OpsPerSec())
+
+			// Quiesced: the server-side invariant endpoint and the local
+			// checks must both pass.
+			resp, err := http.Get(ts.URL + "/v1/check")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/v1/check returned %s", resp.Status)
+			}
+			if err := store.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Check(store, res.Totals); err != nil {
+				t.Fatal(err)
+			}
+
+			// Clean shutdown: pool drains, then refuses work.
+			ts.Close()
+			sv.Close()
+			if _, err := sv.Exec([]Op{{Kind: KindGet, Key: 1}}); err == nil {
+				t.Fatal("Exec succeeded after Close")
+			}
+		})
+	}
+}
+
+// TestServerEndpoints covers the non-batch surface: stats, health,
+// bad requests, and the oversized-batch guard.
+func TestServerEndpoints(t *testing.T) {
+	w, err := ByName("readmostly", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := w.NewStore(Config{STM: stm.DefaultConfig()})
+	sv := NewServer(store, 2, 1)
+	defer sv.Close()
+	ts := httptest.NewServer(sv)
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/v1/stats", "/v1/check"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %s", path, resp.Status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope = %s, want 404", resp.Status)
+	}
+	// GET on the batch endpoint is rejected.
+	resp, err = http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/batch = %s, want 405", resp.Status)
+	}
+	// Malformed JSON is a 400.
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %s, want 400", resp.Status)
+	}
+	// Oversized batches are refused before allocation.
+	if _, err := sv.Exec(make([]Op, maxBatchOps+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}

@@ -1,0 +1,452 @@
+// Package txkv is a transactional key-value store layered on the
+// internal/stm word arena — the repo's first keyed workload surface.
+// The paper (and ROADMAP) frame conflict resolution as the thing that
+// decides real transactional throughput; txkv converts the raw
+// word-indexed arena into something an end user could send traffic
+// to: keys, multi-key documents, counters, and a contended secondary
+// index, all executed as ordinary stm transactions so the conflict
+// policy, grace periods, sharded clocks and group-commit batching
+// apply unchanged.
+//
+// # Word layout
+//
+// A Store with capacity C buckets (a power of two), I index classes
+// and S size stripes owns one stm arena of 3C+I+S words:
+//
+//	[0, C)        bucket key words: 0 = empty, ^0 = tombstone,
+//	              otherwise userKey+1
+//	[C, 2C)       bucket value words
+//	[2C, 3C)      index links: next bucket+1 in this bucket's
+//	              index-class chain (0 = end)
+//	[3C, 3C+I)    index heads: first bucket+1 per value class
+//	[3C+I, +S)    striped occupancy counters (live keys only)
+//
+// Every operation's footprint flows through tx.Load/tx.Store, so a
+// Put is a handful of word reads (the probe path) plus a few writes —
+// exactly the kind of small-footprint transaction the paper's cost
+// model prices.
+//
+// # Secondary index
+//
+// The index groups buckets by value class (value & (classes-1)) into
+// per-class singly linked lists threaded through the link words. It
+// is deliberately *structural* and non-commutative: inserts push at
+// the head, deletes unlink mid-chain, and value updates that change
+// class relink the bucket — so two racing updates that lose isolation
+// leave a torn chain (a cycle, a shared tail, or an orphan) that
+// CheckInvariants detects, where a commutative aggregate would
+// silently re-add up. This is the serving-stack analogue of the
+// scenario invariants.
+package txkv
+
+import (
+	"errors"
+	"fmt"
+
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+)
+
+// ErrFull is the user-level (non-retrying) outcome of inserting into
+// a map whose probe path has no free bucket.
+var ErrFull = errors.New("txkv: map full")
+
+// tombstone marks a bucket whose key was deleted; probes continue
+// past it, inserts may reuse it.
+const tombstone = ^uint64(0)
+
+// Config sizes a Store.
+type Config struct {
+	// Capacity is the bucket count, rounded up to a power of two.
+	// The map holds at most Capacity live keys; inserts beyond that
+	// return ErrFull. 0 defaults to 1024.
+	Capacity int
+	// IndexClasses is the number of secondary-index value classes
+	// (power of two, default 64). A value belongs to class
+	// value & (IndexClasses-1).
+	IndexClasses int
+	// SizeStripes is the number of striped occupancy words (power of
+	// two, default 16); striping keeps inserts from serializing on a
+	// single counter word.
+	SizeStripes int
+	// STM configures the underlying runtime (conflict policy, lazy
+	// vs eager locking, CommitBatch, shards, tracing...).
+	STM stm.Config
+}
+
+// Store is the transactional key-value store. All mutating and
+// reading entry points run as stm transactions and are safe for
+// concurrent use; the Committed*/Check methods read quiescent state
+// and are meant for post-run verification.
+type Store struct {
+	rt      *stm.Runtime
+	cap     int // buckets (power of two)
+	mask    uint64
+	classes int
+	stripes int
+}
+
+// New builds a store and its STM arena.
+func New(cfg Config) *Store {
+	c := ceilPow2(cfg.Capacity, 1024)
+	classes := ceilPow2(cfg.IndexClasses, 64)
+	stripes := ceilPow2(cfg.SizeStripes, 16)
+	s := &Store{
+		cap:     c,
+		mask:    uint64(c - 1),
+		classes: classes,
+		stripes: stripes,
+	}
+	s.rt = stm.New(3*c+classes+stripes, cfg.STM)
+	return s
+}
+
+func ceilPow2(n, def int) int {
+	if n <= 0 {
+		n = def
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Arena word regions (see the package comment).
+func (s *Store) keyWord(b int) int   { return b }
+func (s *Store) valWord(b int) int   { return s.cap + b }
+func (s *Store) linkWord(b int) int  { return 2*s.cap + b }
+func (s *Store) headWord(c int) int  { return 3*s.cap + c }
+func (s *Store) sizeWord(st int) int { return 3*s.cap + s.classes + st }
+
+// class maps a value to its secondary-index class.
+func (s *Store) class(val uint64) int { return int(val) & (s.classes - 1) }
+
+// hash is the splitmix64 finalizer — full-avalanche, so sequential
+// user keys spread across buckets (and size stripes).
+func hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// Runtime exposes the underlying STM runtime (stats, config).
+func (s *Store) Runtime() *stm.Runtime { return s.rt }
+
+// Capacity returns the bucket count.
+func (s *Store) Capacity() int { return s.cap }
+
+// probe walks key's probe path inside tx. It returns the bucket
+// holding key (found=true), or found=false with free set to the
+// bucket an insert should use (-1 when the path is exhausted: map
+// full). The first tombstone on the path is remembered for reuse,
+// but the walk continues to the first empty word so a reused slot
+// can never shadow a live copy of the same key deeper in the path.
+func (s *Store) probe(tx *stm.Tx, key uint64) (bucket int, found bool, free int) {
+	h := int(hash(key) & s.mask)
+	free = -1
+	for i := 0; i < s.cap; i++ {
+		b := (h + i) & int(s.mask)
+		kw := tx.Load(s.keyWord(b))
+		switch kw {
+		case 0:
+			if free < 0 {
+				free = b
+			}
+			return 0, false, free
+		case tombstone:
+			if free < 0 {
+				free = b
+			}
+		case key + 1:
+			return b, true, free
+		}
+	}
+	return 0, false, free
+}
+
+// indexPush links bucket b (holding a key whose value is val) at the
+// head of its class chain.
+func (s *Store) indexPush(tx *stm.Tx, b int, val uint64) {
+	c := s.class(val)
+	tx.Store(s.linkWord(b), tx.Load(s.headWord(c)))
+	tx.Store(s.headWord(c), uint64(b)+1)
+}
+
+// indexUnlink removes bucket b from the class chain of val (the
+// value it was indexed under). The chain must contain b — a miss
+// means the index lost an insert, which the transaction turns into
+// a panic rather than silent corruption.
+func (s *Store) indexUnlink(tx *stm.Tx, b int, val uint64) {
+	c := s.class(val)
+	cur := tx.Load(s.headWord(c))
+	if cur == uint64(b)+1 {
+		tx.Store(s.headWord(c), tx.Load(s.linkWord(b)))
+		tx.Store(s.linkWord(b), 0)
+		return
+	}
+	for steps := 0; cur != 0 && steps <= s.cap; steps++ {
+		prev := int(cur) - 1
+		next := tx.Load(s.linkWord(prev))
+		if next == uint64(b)+1 {
+			tx.Store(s.linkWord(prev), tx.Load(s.linkWord(b)))
+			tx.Store(s.linkWord(b), 0)
+			return
+		}
+		cur = next
+	}
+	panic(fmt.Sprintf("txkv: bucket %d missing from index class %d", b, c))
+}
+
+// checkKey rejects the one unrepresentable key (stored keys are
+// userKey+1, and ^0 is the tombstone).
+func checkKey(key uint64) error {
+	if key >= tombstone-1 {
+		return fmt.Errorf("txkv: key %#x out of range", key)
+	}
+	return nil
+}
+
+// put is the in-transaction upsert shared by Put, Add and UpdateDoc.
+func (s *Store) put(tx *stm.Tx, key, val uint64) error {
+	b, found, free := s.probe(tx, key)
+	if found {
+		old := tx.Load(s.valWord(b))
+		if s.class(old) != s.class(val) {
+			s.indexUnlink(tx, b, old)
+			s.indexPush(tx, b, val)
+		}
+		tx.Store(s.valWord(b), val)
+		return nil
+	}
+	if free < 0 {
+		return ErrFull
+	}
+	tx.Store(s.keyWord(free), key+1)
+	tx.Store(s.valWord(free), val)
+	s.indexPush(tx, free, val)
+	st := s.sizeWord(int(hash(key)) & (s.stripes - 1))
+	tx.Store(st, tx.Load(st)+1)
+	return nil
+}
+
+// get is the in-transaction lookup.
+func (s *Store) get(tx *stm.Tx, key uint64) (uint64, bool) {
+	b, found, _ := s.probe(tx, key)
+	if !found {
+		return 0, false
+	}
+	return tx.Load(s.valWord(b)), true
+}
+
+// del is the in-transaction delete.
+func (s *Store) del(tx *stm.Tx, key uint64) bool {
+	b, found, _ := s.probe(tx, key)
+	if !found {
+		return false
+	}
+	s.indexUnlink(tx, b, tx.Load(s.valWord(b)))
+	tx.Store(s.keyWord(b), tombstone)
+	tx.Store(s.valWord(b), 0)
+	st := s.sizeWord(int(hash(key)) & (s.stripes - 1))
+	tx.Store(st, tx.Load(st)-1)
+	return true
+}
+
+// Put inserts or updates key. worker tags the transaction's trace
+// records (pass -1 outside a worker pool); r must be the caller
+// goroutine's own stream.
+func (s *Store) Put(worker int, r *rng.Rand, key, val uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	return s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
+		return s.put(tx, key, val)
+	})
+}
+
+// Get returns key's value (ok=false when absent).
+func (s *Store) Get(worker int, r *rng.Rand, key uint64) (val uint64, ok bool, err error) {
+	if err := checkKey(key); err != nil {
+		return 0, false, err
+	}
+	err = s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
+		val, ok = s.get(tx, key)
+		return nil
+	})
+	return val, ok, err
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(worker int, r *rng.Rand, key uint64) (deleted bool, err error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	err = s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
+		deleted = s.del(tx, key)
+		return nil
+	})
+	return deleted, err
+}
+
+// Add atomically increments key's value by delta, inserting delta
+// when the key is absent (the counter type: a keyed read-modify-write
+// whose conflicts land on the value word and, when the class
+// changes, on the index chains). It returns the new value.
+func (s *Store) Add(worker int, r *rng.Rand, key, delta uint64) (newVal uint64, err error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	err = s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
+		old, _ := s.get(tx, key)
+		newVal = old + delta
+		return s.put(tx, key, newVal)
+	})
+	return newVal, err
+}
+
+// UpdateDoc atomically writes val to the document's fields — the
+// keys base, base+1, ..., base+fields-1 — in one transaction, so a
+// reader can never observe a half-updated document.
+func (s *Store) UpdateDoc(worker int, r *rng.Rand, base uint64, fields int, val uint64) error {
+	if err := checkKey(base + uint64(fields) - 1); err != nil {
+		return err
+	}
+	return s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
+		for f := 0; f < fields; f++ {
+			if err := s.put(tx, base+uint64(f), val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ReadDoc atomically reads the document's fields (absent fields read
+// as 0 — a document that was never written is all-zero, still
+// satisfying the all-fields-equal visibility invariant).
+func (s *Store) ReadDoc(worker int, r *rng.Rand, base uint64, fields int) ([]uint64, error) {
+	if err := checkKey(base + uint64(fields) - 1); err != nil {
+		return nil, err
+	}
+	vals := make([]uint64, fields)
+	err := s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
+		for f := 0; f < fields; f++ {
+			vals[f], _ = s.get(tx, base+uint64(f))
+		}
+		return nil
+	})
+	return vals, err
+}
+
+// Len returns the committed live-key count (the sum of the size
+// stripes). Quiescent-state accessor.
+func (s *Store) Len() int {
+	var n uint64
+	for st := 0; st < s.stripes; st++ {
+		n += s.rt.ReadCommitted(s.sizeWord(st))
+	}
+	return int(n)
+}
+
+// Range calls fn for every committed live key. Quiescent-state
+// accessor (it reads bucket words non-transactionally).
+func (s *Store) Range(fn func(key, val uint64)) {
+	for b := 0; b < s.cap; b++ {
+		kw := s.rt.ReadCommitted(s.keyWord(b))
+		if kw == 0 || kw == tombstone {
+			continue
+		}
+		fn(kw-1, s.rt.ReadCommitted(s.valWord(b)))
+	}
+}
+
+// CheckInvariants verifies the store's structural invariants against
+// the committed (quiescent) arena:
+//
+//  1. occupancy: the striped size counters sum to the number of live
+//     buckets;
+//  2. reachability: every live bucket hangs off exactly one index
+//     chain, and the chains contain nothing else (no orphans, no
+//     double links, no cycles);
+//  3. class consistency: a bucket in class c holds a value of class c;
+//  4. probe integrity: every live key is found by its own probe path.
+//
+// Any violation is a serializability bug in the runtime (or a txkv
+// logic bug), not a data race in the checker — call it only after
+// all workers have stopped.
+func (s *Store) CheckInvariants() error {
+	live := 0
+	for b := 0; b < s.cap; b++ {
+		kw := s.rt.ReadCommitted(s.keyWord(b))
+		if kw == 0 || kw == tombstone {
+			continue
+		}
+		live++
+	}
+	if got := s.Len(); got != live {
+		return fmt.Errorf("txkv: size stripes sum to %d, scan found %d live keys", got, live)
+	}
+	seen := make([]bool, s.cap)
+	visited := 0
+	for c := 0; c < s.classes; c++ {
+		cur := s.rt.ReadCommitted(s.headWord(c))
+		for steps := 0; cur != 0; steps++ {
+			if steps > s.cap {
+				return fmt.Errorf("txkv: index class %d chain exceeds capacity (cycle)", c)
+			}
+			b := int(cur) - 1
+			if b < 0 || b >= s.cap {
+				return fmt.Errorf("txkv: index class %d links out-of-range bucket %d", c, b)
+			}
+			if seen[b] {
+				return fmt.Errorf("txkv: bucket %d linked twice in the index", b)
+			}
+			seen[b] = true
+			visited++
+			kw := s.rt.ReadCommitted(s.keyWord(b))
+			if kw == 0 || kw == tombstone {
+				return fmt.Errorf("txkv: index class %d links dead bucket %d", c, b)
+			}
+			val := s.rt.ReadCommitted(s.valWord(b))
+			if s.class(val) != c {
+				return fmt.Errorf("txkv: bucket %d (value %d, class %d) linked under class %d",
+					b, val, s.class(val), c)
+			}
+			cur = s.rt.ReadCommitted(s.linkWord(b))
+		}
+	}
+	if visited != live {
+		return fmt.Errorf("txkv: index chains reach %d buckets, %d are live", visited, live)
+	}
+	// Probe integrity: every live key must find itself.
+	for b := 0; b < s.cap; b++ {
+		kw := s.rt.ReadCommitted(s.keyWord(b))
+		if kw == 0 || kw == tombstone {
+			continue
+		}
+		if !s.committedFinds(kw-1, b) {
+			return fmt.Errorf("txkv: key %d at bucket %d unreachable by its probe path", kw-1, b)
+		}
+	}
+	return nil
+}
+
+// committedFinds reports whether key's committed probe path reaches
+// bucket want before an empty word.
+func (s *Store) committedFinds(key uint64, want int) bool {
+	h := int(hash(key) & s.mask)
+	for i := 0; i < s.cap; i++ {
+		b := (h + i) & int(s.mask)
+		kw := s.rt.ReadCommitted(s.keyWord(b))
+		if kw == 0 {
+			return false
+		}
+		if b == want {
+			return kw == key+1
+		}
+	}
+	return false
+}

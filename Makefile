@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short scenario-parity smoke-txkv bench bench-stm bench-batch bench-txkv trace-demo fuzz-trace tidy
+.PHONY: all build vet test race-short race-adaptive scenario-parity smoke-txkv bench bench-stm bench-adaptive bench-batch bench-txkv trace-demo fuzz-trace tidy
 
 all: build vet test
 
@@ -25,6 +25,16 @@ test:
 # budgets.
 race-short:
 	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/ ./internal/trace/ ./internal/experiments/ ./internal/txkv/
+
+# Adaptive control-plane race cell: SetPolicy churn against live
+# traffic on all three commit modes (internal/stm), the cross-mode
+# equivalence suite under mid-run policy flips (internal/scenario),
+# and the tune loop itself (internal/tune), all under the race
+# detector. CI runs this in the GOMAXPROCS=4 matrix cell.
+race-adaptive:
+	$(GO) test -race -count=1 ./internal/tune/
+	$(GO) test -race -count=1 -run 'TestSetPolicyChurn' ./internal/stm/
+	$(GO) test -race -count=1 -run 'TestCrossModePolicyChurn' ./internal/scenario/
 
 # Cross-backend scenario parity plus the cross-mode (eager vs lazy vs
 # lazy+batched) equivalence suite: every registry scenario on both
@@ -48,6 +58,13 @@ bench:
 # this as a non-blocking step so the perf history starts recording.
 bench-stm:
 	$(GO) run ./cmd/stmbench -perf -out BENCH_stm.json
+
+# Same snapshot plus the adaptiveSweep section: the phase-shift
+# convergence experiment (internal/tune loop vs the best static
+# policy per phase) folded into BENCH_stm.json. CI runs this as a
+# non-blocking step and uploads the snapshot.
+bench-adaptive:
+	$(GO) run ./cmd/stmbench -perf -adaptive -out BENCH_stm.json
 
 # Batched group commit vs the unbatched lazy baseline: the
 # CommitBatch sweep on the contended scenarios at 8 procs. CI runs

@@ -48,6 +48,31 @@ func TestCmdFlagValidation(t *testing.T) {
 			"nope", ""},
 		{"txkvd dist", "txkvd", []string{"-bench", "-dist", "nope"},
 			"nope", ""},
+		// Integer knobs: zero/negative values that would wedge or
+		// silently misconfigure a run are rejected up front with the
+		// flag named in the message.
+		{"stmbench negative batch", "stmbench", []string{"-scenario", "hotspot", "-batch", "-1"},
+			"stmbench: -batch must be >= 0 (got -1)", ""},
+		{"stmbench negative shards", "stmbench", []string{"-scenario", "hotspot", "-shards", "-4"},
+			"stmbench: -shards must be >= 0", ""},
+		{"stmbench negative kwindow", "stmbench", []string{"-scenario", "hotspot", "-kwindow", "-64"},
+			"stmbench: -kwindow must be >= 0", ""},
+		{"txsim negative detail", "txsim", []string{"-scenario", "stack", "-detail", "-8"},
+			"txsim: -detail must be >= 0", ""},
+		{"txsim negative ablate", "txsim", []string{"-scenario", "stack", "-ablate", "-8"},
+			"txsim: -ablate must be >= 0", ""},
+		{"txkvd zero workers", "txkvd", []string{"-workers", "0"},
+			"txkvd: -workers must be > 0 (got 0)", ""},
+		{"txkvd negative workers", "txkvd", []string{"-workers", "-2"},
+			"txkvd: -workers must be > 0 (got -2)", ""},
+		{"txkvd zero users", "txkvd", []string{"-bench", "-users", "0"},
+			"txkvd: -users must be > 0 (got 0)", ""},
+		{"txkvd zero batchsize", "txkvd", []string{"-bench", "-batchsize", "0"},
+			"txkvd: -batchsize must be > 0 (got 0)", ""},
+		{"txkvd negative batch", "txkvd", []string{"-batch", "-1"},
+			"txkvd: -batch must be >= 0 (got -1)", ""},
+		{"txkvd negative capacity", "txkvd", []string{"-capacity", "-1"},
+			"txkvd: -capacity must be >= 0 (got -1)", ""},
 	}
 	for _, c := range cases {
 		c := c

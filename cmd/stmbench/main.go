@@ -61,6 +61,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text")
 		ablate   = flag.Bool("ablate", false, "run the STM design ablations instead of the strategy sweep (baseline pinned: -policy/-lazy/-shards/-kwindow ignored)")
+		adaptive = flag.Bool("adaptive", false, "run the adaptive-control convergence experiment (phase-shifted workload under the internal/tune loop); with -perf, adds the adaptiveSweep section")
 		perf     = flag.Bool("perf", false, "emit the JSON perf snapshot (commits/sec at 1/4/8 procs plus the per-scenario sweep)")
 		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
 		record   = flag.String("record", "", "record a trace of the scenario run to this file (see internal/trace)")
@@ -68,6 +69,15 @@ func main() {
 		fidelity = flag.String("fidelity", "", "emit the sim-vs-real fidelity report for a recorded trace file")
 	)
 	flag.Parse()
+
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"batch", *batch}, {"shards", *shards}, {"kwindow", *kwindow}} {
+		if err := cliutil.CheckNonNegative(c.name, c.v); err != nil {
+			cliutil.Fatal("stmbench", err)
+		}
+	}
 
 	sel := *scen
 	if sel == "" {
@@ -132,7 +142,12 @@ func main() {
 		return
 	}
 	if *perf {
+		cfg.Adaptive = *adaptive
 		runPerf(sel, cfg, *levels != "", *out)
+		return
+	}
+	if *adaptive {
+		runAdaptive(cfg, *dur, *seed, *csv)
 		return
 	}
 
@@ -163,6 +178,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "stmbench:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runAdaptive runs the phase-shift convergence experiment: the
+// internal/tune control loop over one live runtime, read against the
+// best static policy per phase.
+func runAdaptive(cfg experiments.STMConfig, dur time.Duration, seed uint64, csv bool) {
+	rep, err := experiments.AdaptiveConvergence(experiments.AdaptiveConfig{
+		Goroutines:    maxLevel(cfg.Goroutines),
+		PhaseDuration: dur,
+		Length:        cfg.Length,
+		Seed:          seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	tab := rep.Table()
+	if csv {
+		err = tab.WriteCSV(os.Stdout)
+	} else {
+		err = tab.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"txconflict/internal/dist"
 	"txconflict/internal/rng"
 	"txconflict/internal/stm"
+	"txconflict/internal/tune"
 	"txconflict/internal/txkv"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		capacity = flag.Int("capacity", 0, "store bucket count (0 = sized for -workload, else 2048)")
 		workers  = flag.Int("workers", 4, "transaction worker pool size (one stm.AtomicWorker each)")
 		mode     = flag.String("mode", "eager", "locking mode: eager or lazy")
+		adaptive = flag.Bool("adaptive", false, "run the internal/tune control loop over the served runtime (serve/-bench modes; implies -mode lazy)")
 		batch    = flag.Int("batch", 0, "lazy group-commit batch bound (0 = unbatched; > 0 implies -mode lazy)")
 		shards   = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
 		workload = flag.String("workload", "", "keyed workload from internal/txkv (or 'list'); drives -bench/-load/-perf and sizes the served store")
@@ -70,11 +72,32 @@ func main() {
 	if *mode != "eager" && *mode != "lazy" {
 		cliutil.Fatal("txkvd", fmt.Errorf("unknown mode %q; modes: eager, lazy", *mode))
 	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"workers", *workers}, {"users", int(*users)}, {"batchsize", *bsize}} {
+		if err := cliutil.CheckPositive(c.name, c.v); err != nil {
+			cliutil.Fatal("txkvd", err)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"batch", *batch}, {"shards", *shards}, {"capacity", *capacity}} {
+		if err := cliutil.CheckNonNegative(c.name, c.v); err != nil {
+			cliutil.Fatal("txkvd", err)
+		}
+	}
 
 	cfg := stm.DefaultConfig()
-	cfg.Lazy = *mode == "lazy" || *batch > 0 // the combiner only exists in lazy mode
+	// The combiner only exists in lazy mode; adaptive runs lazy too so
+	// the controller may open it.
+	cfg.Lazy = *mode == "lazy" || *batch > 0 || *adaptive
 	cfg.CommitBatch = *batch
 	cfg.Shards = *shards
+	if *adaptive && cfg.KWindow == 0 {
+		cfg.KWindow = 64 // the controller's k rules read the windowed estimator
+	}
 
 	if *perf {
 		// The perf matrix sweeps all three commit modes itself; only
@@ -120,41 +143,81 @@ func main() {
 
 	switch {
 	case *bench:
+		sampler := attachSampler(&cfg, *adaptive)
 		s := w.NewStore(txkv.Config{Capacity: *capacity, STM: cfg})
+		var tn *tune.Tuner
+		if sampler != nil {
+			tn = tune.New(s.Runtime(), sampler, tune.Limits{}, 0)
+			tn.Start()
+		}
 		res, err := w.RunLocal(s, g)
+		if tn != nil {
+			tn.Stop()
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "txkvd:", err)
 			os.Exit(1)
 		}
 		snap := s.Runtime().Stats.Snapshot()
 		fmt.Printf("%s: %.0f ops/sec (%d ops, %d users, %d commits, %d aborts, mode %s)\n",
-			w.Name(), res.OpsPerSec(), res.Ops, g.Users, snap["commits"], snap["aborts"], modeLabel(cfg))
+			w.Name(), res.OpsPerSec(), res.Ops, g.Users, snap["commits"], snap["aborts"], modeLabel(cfg, *adaptive))
+		if tn != nil {
+			fmt.Printf("adaptive: policy %s after %d swaps\n",
+				s.Runtime().Policy(), s.Runtime().PolicySwaps())
+			for _, d := range tn.Decisions() {
+				for _, reason := range d.Reasons {
+					fmt.Printf("  decision %d -> %s: %s\n", d.Seq, d.Policy, reason)
+				}
+			}
+		}
 	case *load != "":
 		runRemote(w, *load, g)
 	default:
-		serve(w, *addr, *capacity, *workers, *seed, cfg)
+		serve(w, *addr, *capacity, *workers, *seed, cfg, *adaptive)
 	}
 }
 
-func modeLabel(cfg stm.Config) string {
+// attachSampler wraps cfg.Trace in a tune.Sampler when adaptive mode
+// is on, returning the sampler (nil otherwise).
+func attachSampler(cfg *stm.Config, adaptive bool) *tune.Sampler {
+	if !adaptive {
+		return nil
+	}
+	s := tune.NewSampler(cfg.Trace)
+	cfg.Trace = s
+	return s
+}
+
+func modeLabel(cfg stm.Config, adaptive bool) string {
+	label := "eager"
 	switch {
 	case cfg.Lazy && cfg.CommitBatch > 0:
-		return fmt.Sprintf("lazy+batch%d", cfg.CommitBatch)
+		label = fmt.Sprintf("lazy+batch%d", cfg.CommitBatch)
 	case cfg.Lazy:
-		return "lazy"
-	default:
-		return "eager"
+		label = "lazy"
 	}
+	if adaptive {
+		label += "+adaptive"
+	}
+	return label
 }
 
 // serve runs the HTTP front-end until the process is killed. The
 // store is sized for the selected workload unless -capacity is set.
-func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cfg stm.Config) {
+// With -adaptive, the internal/tune control loop runs over the served
+// runtime and /v1/policy exposes (and overrides) its decisions.
+func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cfg stm.Config, adaptive bool) {
+	sampler := attachSampler(&cfg, adaptive)
 	s := w.NewStore(txkv.Config{Capacity: capacity, STM: cfg})
 	sv := txkv.NewServer(s, workers, seed)
+	if sampler != nil {
+		tn := tune.New(s.Runtime(), sampler, tune.Limits{}, 0)
+		sv.AttachTuner(tn)
+		tn.Start() // sv.Close stops it
+	}
 	defer sv.Close()
 	fmt.Printf("txkvd: serving on %s (workload %s, capacity %d, %d workers, mode %s)\n",
-		addr, w.Name(), w.Capacity(), workers, modeLabel(cfg))
+		addr, w.Name(), w.Capacity(), workers, modeLabel(cfg, adaptive))
 	if err := http.ListenAndServe(addr, sv); err != nil {
 		fmt.Fprintln(os.Stderr, "txkvd:", err)
 		os.Exit(1)

@@ -66,6 +66,15 @@ func main() {
 	)
 	flag.Parse()
 
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"detail", *detail}, {"ablate", *ablate}} {
+		if err := cliutil.CheckNonNegative(c.name, c.v); err != nil {
+			cliutil.Fatal("txsim", err)
+		}
+	}
+
 	sel := *scen
 	if sel == "" {
 		sel = *bench

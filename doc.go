@@ -62,6 +62,22 @@
 // kvcounter/kvread/kvdoc, so both backends exercise keyed conflict
 // patterns in the parity suites.
 //
+// The runtime's knobs form a live control plane: stm.Config keeps
+// only construction-time structure, while the dynamic half —
+// resolution policy, grace strategy, the Section 9 hybrid rule,
+// KWindow, CommitBatch, retry bounds — lives in an stm.Policy behind
+// one atomic pointer, swappable mid-run via Runtime.SetPolicy (each
+// attempt latches the policy once, so swaps never tear a running
+// transaction). internal/tune closes the trace→policy loop online —
+// a Sampler in the Config.Trace seam keeps rolling counters, a
+// hysteresis Controller maps windowed observations to policy moves
+// (group-commit lane on grace fraction, KWindow from k variance,
+// requestor-wins↔aborts at the paper's k≈2.5 boundary), and a Tuner
+// goroutine applies them with a decision log. stmbench -adaptive
+// runs the phase-shift convergence experiment against per-phase
+// static oracles; txkvd -adaptive serves under the loop with
+// GET/POST /v1/policy for inspection and manual override.
+//
 // Harnesses regenerating every figure of the paper's evaluation live
 // in internal/synth, internal/adversary and internal/experiments;
 // see bench_test.go, cmd/, internal/README.md and EXPERIMENTS.md.

@@ -31,6 +31,27 @@ func CheckName(kind, name string, names []string) error {
 		kind, name, kind, strings.Join(sorted, ", "))
 }
 
+// CheckPositive validates an integer flag that must be strictly
+// positive (worker pools, user counts, batch request sizes). The
+// error names the flag so the message reads like the flag package's
+// own diagnostics.
+func CheckPositive(flagName string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be > 0 (got %d)", flagName, v)
+	}
+	return nil
+}
+
+// CheckNonNegative validates an integer flag where zero means "off"
+// or "default" but negative values are nonsense (-batch, -shards,
+// -kwindow, -capacity).
+func CheckNonNegative(flagName string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must be >= 0 (got %d)", flagName, v)
+	}
+	return nil
+}
+
 // Fatal reports a usage-level error the way every front-end does:
 // "<cmd>: <err>" on stderr, exit status 2 (the flag package's own
 // usage-error status).

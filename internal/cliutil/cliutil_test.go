@@ -41,3 +41,33 @@ func TestFatalExitsWithStatus2(t *testing.T) {
 		t.Fatalf("Fatal exited with %d, want 2", got)
 	}
 }
+
+func TestCheckPositive(t *testing.T) {
+	if err := CheckPositive("workers", 1); err != nil {
+		t.Fatalf("1 rejected: %v", err)
+	}
+	for _, v := range []int{0, -3} {
+		err := CheckPositive("workers", v)
+		if err == nil {
+			t.Fatalf("%d accepted", v)
+		}
+		if !strings.Contains(err.Error(), "-workers must be > 0") {
+			t.Fatalf("message lacks the flag name and bound: %q", err)
+		}
+	}
+}
+
+func TestCheckNonNegative(t *testing.T) {
+	for _, v := range []int{0, 7} {
+		if err := CheckNonNegative("batch", v); err != nil {
+			t.Fatalf("%d rejected: %v", v, err)
+		}
+	}
+	err := CheckNonNegative("batch", -1)
+	if err == nil {
+		t.Fatal("-1 accepted")
+	}
+	if !strings.Contains(err.Error(), "-batch must be >= 0 (got -1)") {
+		t.Fatalf("message lacks the flag name and value: %q", err)
+	}
+}

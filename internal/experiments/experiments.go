@@ -146,6 +146,10 @@ type STMConfig struct {
 	// Length overrides the scenario's default transaction-length
 	// sampler (the -dist flag); nil keeps the scenario default.
 	Length dist.Sampler
+	// Adaptive adds the phase-shift convergence trajectory
+	// (AdaptiveConvergence) to the STMPerf report's adaptiveSweep
+	// section — the stmbench -perf -adaptive path.
+	Adaptive bool
 	// Seed feeds the per-goroutine streams.
 	Seed uint64
 }

@@ -140,6 +140,18 @@ type STMBatchPerf struct {
 	BatchFails    uint64  `json:"batchFails,omitempty"`
 }
 
+// STMAdaptivePerf is one phase of the adaptive-control trajectory
+// (make bench-adaptive): the tuned runtime's steady-state throughput
+// against the best static policy for the phase.
+type STMAdaptivePerf struct {
+	Phase                 string  `json:"phase"`
+	BestStatic            string  `json:"bestStatic"`
+	BestCommitsPerSec     float64 `json:"bestCommitsPerSec"`
+	AdaptiveCommitsPerSec float64 `json:"adaptiveCommitsPerSec"`
+	Ratio                 float64 `json:"ratio"`
+	FinalPolicy           string  `json:"finalPolicy"`
+}
+
 // STMPerfReport is the machine-readable perf trajectory snapshot
 // emitted by `make bench-stm` into BENCH_stm.json.
 type STMPerfReport struct {
@@ -157,6 +169,11 @@ type STMPerfReport struct {
 	// at the highest goroutine level, CommitBatch swept over
 	// 0 (unbatched baseline) and the batch bounds.
 	BatchSweep []STMBatchPerf `json:"batchSweep"`
+	// AdaptiveSweep is the phase-shift convergence trajectory
+	// (STMConfig.Adaptive / make bench-adaptive); AdaptiveSwaps is
+	// the tuned runtime's SetPolicy count across it.
+	AdaptiveSweep []STMAdaptivePerf `json:"adaptiveSweep,omitempty"`
+	AdaptiveSwaps uint64            `json:"adaptiveSwaps,omitempty"`
 }
 
 // STMPerf measures commits/sec and abort counts on the main benchmark
@@ -243,6 +260,30 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 			BatchCommits:  m.Stats["batchCommits"],
 			BatchFails:    m.Stats["batchFails"],
 		})
+	}
+	// Adaptive convergence trajectory (make bench-adaptive): the
+	// phase-shift experiment at the highest level.
+	if cfg.Adaptive {
+		arep, err := AdaptiveConvergence(AdaptiveConfig{
+			Goroutines:    batchLevel,
+			PhaseDuration: cfg.Duration,
+			Length:        cfg.Length,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf adaptive sweep: %w", err)
+		}
+		for _, pr := range arep.Phases {
+			rep.AdaptiveSweep = append(rep.AdaptiveSweep, STMAdaptivePerf{
+				Phase:                 pr.Phase,
+				BestStatic:            pr.BestStatic,
+				BestCommitsPerSec:     pr.BestOpsPerSec,
+				AdaptiveCommitsPerSec: pr.AdaptiveOpsPerSec,
+				Ratio:                 pr.Ratio,
+				FinalPolicy:           pr.FinalPolicy,
+			})
+		}
+		rep.AdaptiveSwaps = arep.Swaps
 	}
 	return rep, nil
 }

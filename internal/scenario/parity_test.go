@@ -245,6 +245,71 @@ func TestCrossModeEquivalenceContended(t *testing.T) {
 	}
 }
 
+// TestCrossModePolicyChurn holds the equivalence suite's invariant
+// under a live control plane: every scenario runs contended on all
+// three commit modes while a churner goroutine flips the runtime
+// policy mid-run — resolution, strategy, hybrid rule, estimator
+// window, combiner lane — as fast as it can. Whatever mix of policies
+// individual transactions latched, the committed state must still
+// satisfy the scenario's invariant: policy swaps steer contention,
+// they never change what a committed transaction wrote.
+func TestCrossModePolicyChurn(t *testing.T) {
+	const workers = 4
+	d := 40 * time.Millisecond
+	if testing.Short() {
+		d = 15 * time.Millisecond
+	}
+	churn := []stm.Policy{
+		{Resolution: core.RequestorWins, Strategy: strategy.UniformRW{}, BackoffFactor: 1, MaxRetries: 128},
+		{Resolution: core.RequestorAborts, Strategy: strategy.ExpRA{}, KWindow: 16, BackoffFactor: 1, MaxRetries: 128},
+		{Resolution: core.RequestorWins, Hybrid: true, Strategy: strategy.Hybrid{}, KWindow: 64, CommitBatch: 4, BackoffFactor: 1, MaxRetries: 128},
+		{Resolution: core.RequestorWins, CommitBatch: 2, BackoffFactor: 2, MaxRetries: 128},
+	}
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, mode := range stmModes() {
+				sc, err := scenario.ByName(name, scenario.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rn := scenario.NewSTMRunner(sc, mode.cfg)
+				rt := rn.Runtime()
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					// Throttled so the churner cannot starve the
+					// workers on a single P: ~50 swaps/ms is still far
+					// beyond any real control loop.
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+							rt.SetPolicy(churn[i%len(churn)])
+							time.Sleep(20 * time.Microsecond)
+						}
+					}
+				}()
+				res := rn.Drive(workers, d, 77)
+				close(stop)
+				<-done
+				if res.Ops() == 0 {
+					t.Fatalf("%s: no transactions completed under churn", mode.name)
+				}
+				if rt.PolicySwaps() == 0 {
+					t.Fatalf("%s: churner never swapped", mode.name)
+				}
+				if err := rn.Check(res.PerWorker); err != nil {
+					t.Fatalf("%s (%s) after %d policy swaps: %v",
+						mode.name, mode.cfg.String(), rt.PolicySwaps(), err)
+				}
+			}
+		})
+	}
+}
+
 // TestSameSeedSameprograms pins the cross-backend contract: with the
 // same seed, the scenario feeds byte-identical op streams to both
 // adapters (the HTM side is a pure compilation of the scenario

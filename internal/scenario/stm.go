@@ -40,6 +40,25 @@ func NewSTMRunner(sc *Scenario, cfg stm.Config) *STMRunner {
 	return rn
 }
 
+// NewSTMRunnerOn wraps an existing runtime instead of building a
+// fresh one, so successive scenarios (workload phases) can run over
+// the same live arena — the shape an adaptive controller tunes
+// against, where the workload shifts under a runtime that keeps its
+// estimator history, policy, and committed state. The runtime must be
+// at least as large as the scenario's arena; the annotator is wired
+// from the tracer the runtime was constructed with.
+func NewSTMRunnerOn(sc *Scenario, rt *stm.Runtime) *STMRunner {
+	if rt.Size() < sc.Words() {
+		panic(fmt.Sprintf("scenario %s: runtime arena has %d words, scenario needs %d",
+			sc.Name(), rt.Size(), sc.Words()))
+	}
+	rn := &STMRunner{sc: sc, rt: rt}
+	if a, ok := rt.Config().Trace.(ProgramAnnotator); ok {
+		rn.annotate = a
+	}
+	return rn
+}
+
 // Scenario returns the underlying scenario.
 func (rn *STMRunner) Scenario() *Scenario { return rn.sc }
 

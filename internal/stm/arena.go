@@ -102,7 +102,16 @@ type stripe struct {
 	_     [cacheLine - 8]byte
 }
 
-// Config tunes the runtime's conflict resolution.
+// Config assembles a runtime at construction time. It is two halves
+// glued together for convenience: the *structural* fields (Shards,
+// Lazy, Trace — plus the arena size passed to New) freeze the memory
+// layout and instrumentation for the life of the Runtime, while the
+// remaining fields are only the *initial* Policy — the dynamic
+// tuning surface that Runtime.SetPolicy can replace atomically at
+// any point (see policy.go and internal/tune for the controller
+// that does so online). Runtime.Config reconstructs a Config that
+// reflects the current policy, so reports always label what actually
+// ran.
 type Config struct {
 	// Policy selects requestor-wins or requestor-aborts resolution.
 	Policy core.Policy
@@ -263,22 +272,34 @@ func (s *Stats) Snapshot() map[string]uint64 {
 }
 
 // Runtime is a transactional memory arena plus its conflict policy.
+// The structural fields (lazy, stripes, tracer, the arena itself) are
+// frozen at New; the conflict policy lives behind one atomic pointer
+// and is swappable at runtime (SetPolicy) — each transaction attempt
+// latches the current *Policy once, so a swap never tears a running
+// attempt and an unswapped runtime pays only the pointer load.
 type Runtime struct {
-	cfg        Config
+	lazy       bool
+	tracer     Tracer
 	stripeMask int
 	stripes    []stripe
 	meta       []wordMeta
 	words      []atomic.Uint64
 
+	pol      atomic.Pointer[Policy]
+	polSwaps atomic.Uint64
+
 	fallback sync.Mutex // serializes irrevocable transactions
 	txPool   sync.Pool  // reusable Tx descriptors (see Atomic)
 
-	// Group-commit combiner lanes (nil unless Lazy && CommitBatch > 0);
-	// a committing write set maps to batch[lowestWriteIdx & batchMask].
+	// Group-commit combiner lanes (nil unless Lazy); whether commits
+	// actually route through them is the current Policy.CommitBatch.
+	// A committing write set maps to batch[lowestWriteIdx & batchMask].
 	batch     []batchShard
 	batchMask int
 
-	kEst *kEstimator // windowed chain estimator (nil when KWindow = 0)
+	// kEst is the windowed chain estimator (nil while KWindow = 0);
+	// SetPolicy swaps in a fresh window on resize.
+	kEst atomic.Pointer[kEstimator]
 
 	profBits atomic.Uint64 // float64 bits of the EWMA duration (ns)
 
@@ -290,30 +311,36 @@ func New(n int, cfg Config) *Runtime {
 	if n <= 0 {
 		panic("stm: non-positive arena size")
 	}
-	if cfg.BackoffFactor == 0 {
-		cfg.BackoffFactor = 1
-	}
 	sh := cfg.Shards
 	if sh <= 0 {
 		sh = defaultShards()
 	}
 	sh = ceilPow2(sh)
-	cfg.Shards = sh // Config() reports the effective stripe count
 	rt := &Runtime{
-		cfg:        cfg,
+		lazy:       cfg.Lazy,
+		tracer:     cfg.Trace,
 		stripeMask: sh - 1,
 		stripes:    make([]stripe, sh),
 		meta:       make([]wordMeta, n),
 		words:      make([]atomic.Uint64, n),
 	}
-	if cfg.KWindow > 0 {
-		rt.kEst = newKEstimator(cfg.KWindow)
-	}
-	if cfg.Lazy && cfg.CommitBatch > 0 {
+	if cfg.Lazy {
+		// Lanes exist on every lazy runtime — a few cache lines — so
+		// SetPolicy can open the combiner later without reallocating
+		// under live transactions.
 		lanes := defaultBatchShards()
 		rt.batch = make([]batchShard, lanes)
 		rt.batchMask = lanes - 1
 	}
+	p := cfg.policy()
+	p.normalize()
+	if !rt.lazy {
+		p.CommitBatch = 0
+	}
+	if p.KWindow > 0 {
+		rt.kEst.Store(newKEstimator(p.KWindow))
+	}
+	rt.pol.Store(&p)
 	return rt
 }
 
@@ -321,10 +348,11 @@ func New(n int, cfg Config) *Runtime {
 // the last KWindow instantaneous observations); 0 when the estimator
 // is disabled or has seen no conflicts yet.
 func (rt *Runtime) KEstimate() float64 {
-	if rt.kEst == nil {
+	est := rt.kEst.Load()
+	if est == nil {
 		return 0
 	}
-	return rt.kEst.estimate()
+	return est.estimate()
 }
 
 // defaultShards sizes the stripe count to the machine: enough stripes
@@ -360,8 +388,27 @@ func (rt *Runtime) Size() int { return len(rt.words) }
 // Shards returns the number of clock stripes (a power of two).
 func (rt *Runtime) Shards() int { return len(rt.stripes) }
 
-// Config returns the runtime's configuration.
-func (rt *Runtime) Config() Config { return rt.cfg }
+// Config returns the runtime's configuration with the *current*
+// policy folded in: the structural half is the construction-time
+// truth, the dynamic half reflects the latest SetPolicy — so
+// Config().String() labels reports with what is actually running.
+func (rt *Runtime) Config() Config {
+	p := rt.Policy()
+	return Config{
+		Policy:         p.Resolution,
+		HybridPolicy:   p.Hybrid,
+		Strategy:       p.Strategy,
+		Lazy:           rt.lazy,
+		CommitBatch:    p.CommitBatch,
+		Shards:         len(rt.stripes),
+		UseMeanProfile: p.UseMeanProfile,
+		KWindow:        p.KWindow,
+		CleanupCost:    p.CleanupCost,
+		BackoffFactor:  p.BackoffFactor,
+		MaxRetries:     p.MaxRetries,
+		Trace:          rt.tracer,
+	}
+}
 
 // ReadCommitted reads a word outside any transaction, spinning past
 // transient locks. Intended for post-run verification.

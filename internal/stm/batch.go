@@ -124,7 +124,7 @@ func (tx *Tx) commitLazyBatched() {
 			return
 		}
 		if !enqueued {
-			if n := sh.queued.Load(); int(n) < rt.cfg.CommitBatch-1 && sh.queued.CompareAndSwap(n, n+1) {
+			if n := sh.queued.Load(); int(n) < tx.pol.CommitBatch-1 && sh.queued.CompareAndSwap(n, n+1) {
 				for {
 					old := sh.head.Load()
 					tx.batchNext.Store(old)

@@ -59,16 +59,18 @@ func (tx *Tx) onLocked(idx int) {
 	}
 	k := owner.chainK()
 	defer owner.leaveChain()
-	if rt.kEst != nil {
-		// Windowed estimator (Config.KWindow): feed the instantaneous
+	if est := rt.kEst.Load(); est != nil {
+		// Windowed estimator (Policy.KWindow): feed the instantaneous
 		// observation and raise k to the recent running mean when
 		// history shows longer chains than this receiver's waiter
 		// count alone — transitive waiters (A waits on B waits on C)
 		// never appear in C's count, so the instantaneous estimate is
-		// a lower bound.
-		rt.kEst.observe(k)
-		if est := rt.kEst.estimate(); est > float64(k) {
-			k = int(math.Round(est))
+		// a lower bound. The estimator is loaded per conflict because
+		// SetPolicy swaps it on KWindow resizes; observing into a
+		// just-retired window is benign (it is garbage either way).
+		est.observe(k)
+		if e := est.estimate(); e > float64(k) {
+			k = int(math.Round(e))
 		}
 	}
 
@@ -80,7 +82,7 @@ func (tx *Tx) onLocked(idx int) {
 			owner.state.Load()>>stateEpochShift != st0>>stateEpochShift
 	}
 
-	pol := rt.policyFor(k)
+	pol := tx.pol.resolutionFor(k)
 	grace := tx.graceFor(owner, k, pol)
 	deadline := time.Now().Add(grace)
 	for {
@@ -125,18 +127,6 @@ func (tx *Tx) onLocked(idx int) {
 	tx.abort("requestor-aborts")
 }
 
-// policyFor returns the per-conflict resolution policy (Section 9
-// hybrid rule when enabled).
-func (rt *Runtime) policyFor(k int) core.Policy {
-	if !rt.cfg.HybridPolicy {
-		return rt.cfg.Policy
-	}
-	if k <= 2 {
-		return core.RequestorAborts
-	}
-	return core.RequestorWins
-}
-
 // maxGrace caps the grace period a strategy can request. Strategies
 // price delays against the abort cost B (microseconds to
 // milliseconds), so a minute is far beyond any useful grace — but it
@@ -152,7 +142,7 @@ const maxGrace = time.Minute
 // graceFor evaluates the strategy for a conflict with the given
 // receiver, chain length estimate and per-conflict policy.
 func (tx *Tx) graceFor(owner *Tx, k int, pol core.Policy) time.Duration {
-	s := tx.rt.cfg.Strategy
+	s := tx.pol.Strategy
 	if s == nil {
 		return 0
 	}
@@ -160,20 +150,20 @@ func (tx *Tx) graceFor(owner *Tx, k int, pol core.Policy) time.Duration {
 	var b float64
 	var attempts int
 	if pol == core.RequestorWins {
-		b = float64(now-owner.startNanos.Load()) + float64(tx.rt.cfg.CleanupCost.Nanoseconds())
+		b = float64(now-owner.startNanos.Load()) + float64(tx.pol.CleanupCost.Nanoseconds())
 		attempts = int(owner.attempts.Load())
 	} else {
-		b = float64(now-tx.startNanos.Load()) + float64(tx.rt.cfg.CleanupCost.Nanoseconds())
+		b = float64(now-tx.startNanos.Load()) + float64(tx.pol.CleanupCost.Nanoseconds())
 		attempts = int(tx.attempts.Load())
 	}
 	if b <= 0 {
 		b = 1
 	}
-	if f := tx.rt.cfg.BackoffFactor; f > 1 {
+	if f := tx.pol.BackoffFactor; f > 1 {
 		b = strategy.BackoffB(b, attempts, f, math.Inf(1))
 	}
 	conf := core.Conflict{Policy: pol, K: k, B: b}
-	if tx.rt.cfg.UseMeanProfile {
+	if tx.pol.UseMeanProfile {
 		conf.Mean = tx.rt.profileMean()
 	}
 	x := s.Delay(conf, tx.rng)

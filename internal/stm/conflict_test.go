@@ -233,7 +233,7 @@ func TestGraceForClampsOverflow(t *testing.T) {
 			now := time.Now().UnixNano()
 			owner := &Tx{rt: rt}
 			owner.startNanos.Store(now)
-			tx := &Tx{rt: rt}
+			tx := &Tx{rt: rt, pol: rt.pol.Load()}
 			tx.startNanos.Store(now)
 			for _, pol := range []core.Policy{core.RequestorWins, core.RequestorAborts} {
 				got := tx.graceFor(owner, 2, pol)

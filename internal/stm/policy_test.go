@@ -1,0 +1,270 @@
+package stm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/rng"
+	"txconflict/internal/strategy"
+)
+
+func TestPolicyStringAndNormalize(t *testing.T) {
+	p := Policy{Resolution: core.RequestorWins, Strategy: strategy.UniformRW{}, KWindow: 64, CommitBatch: 4}
+	if got := p.String(); got != "requestor-wins/RRW/kw64/b4" {
+		t.Fatalf("String() = %q", got)
+	}
+	p = Policy{Resolution: core.RequestorAborts, Hybrid: true}
+	if got := p.String(); got != "Hybrid/NO_DELAY" {
+		t.Fatalf("String() = %q", got)
+	}
+	n := Policy{BackoffFactor: -1, CommitBatch: -2, KWindow: -3, MaxRetries: -4}
+	n.normalize()
+	if n.BackoffFactor != 1 || n.CommitBatch != 0 || n.KWindow != 0 || n.MaxRetries != 0 {
+		t.Fatalf("normalize left %+v", n)
+	}
+}
+
+func TestResolutionForHybrid(t *testing.T) {
+	p := Policy{Resolution: core.RequestorWins, Hybrid: true}
+	if p.resolutionFor(2) != core.RequestorAborts {
+		t.Fatal("hybrid k=2 is not requestor-aborts")
+	}
+	if p.resolutionFor(3) != core.RequestorWins {
+		t.Fatal("hybrid k=3 is not requestor-wins")
+	}
+	p.Hybrid = false
+	if p.resolutionFor(2) != core.RequestorWins {
+		t.Fatal("non-hybrid ignored Resolution")
+	}
+}
+
+func TestSetPolicySemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KWindow = 8
+	rt := New(8, cfg)
+	if rt.PolicySwaps() != 0 {
+		t.Fatal("fresh runtime reports swaps")
+	}
+
+	// Swap in a different policy; the runtime must serve it back and
+	// count the swap.
+	p := rt.Policy()
+	p.Resolution = core.RequestorAborts
+	p.Strategy = strategy.ExpRA{}
+	p.MaxRetries = 7
+	rt.SetPolicy(p)
+	if got := rt.Policy(); got.Resolution != core.RequestorAborts || got.MaxRetries != 7 {
+		t.Fatalf("Policy() = %+v after swap", got)
+	}
+	if rt.PolicySwaps() != 1 {
+		t.Fatalf("swaps = %d, want 1", rt.PolicySwaps())
+	}
+	// Config() folds the live policy in, so report labels stay
+	// truthful after a swap.
+	if c := rt.Config(); c.Policy != core.RequestorAborts || c.MaxRetries != 7 {
+		t.Fatalf("Config() = %+v did not track the swap", c)
+	}
+
+	// Eager runtimes silently drop CommitBatch — the combiner is a
+	// lazy-commit structure.
+	p.CommitBatch = 8
+	rt.SetPolicy(p)
+	if got := rt.Policy().CommitBatch; got != 0 {
+		t.Fatalf("eager runtime kept CommitBatch=%d", got)
+	}
+
+	// Nonsense values are clamped like New clamps them.
+	rt.SetPolicy(Policy{BackoffFactor: -2, KWindow: -1, MaxRetries: -1})
+	if got := rt.Policy(); got.BackoffFactor != 1 || got.KWindow != 0 || got.MaxRetries != 0 {
+		t.Fatalf("SetPolicy skipped normalization: %+v", got)
+	}
+}
+
+func TestSetPolicyKWindowResize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KWindow = 4
+	rt := New(8, cfg)
+	rt.kEst.Load().observe(5)
+	if rt.KEstimate() == 0 {
+		t.Fatal("estimator ignored the observation")
+	}
+	// Same window: the estimator (and its history) must survive.
+	p := rt.Policy()
+	p.MaxRetries = 3
+	rt.SetPolicy(p)
+	if rt.KEstimate() == 0 {
+		t.Fatal("same-size swap discarded the estimator history")
+	}
+	// Resize: fresh, empty window.
+	p.KWindow = 16
+	rt.SetPolicy(p)
+	if rt.KEstimate() != 0 {
+		t.Fatal("resize kept stale history")
+	}
+	if got := len(rt.kEst.Load().ring); got != 16 {
+		t.Fatalf("ring sized %d, want 16", got)
+	}
+	// Disable: estimator goes away entirely.
+	p.KWindow = 0
+	rt.SetPolicy(p)
+	if rt.kEst.Load() != nil {
+		t.Fatal("KWindow=0 left an estimator installed")
+	}
+	if rt.KEstimate() != 0 {
+		t.Fatal("KEstimate nonzero with no estimator")
+	}
+}
+
+// TestLazyRuntimeOpensLaneLater pins the structural guarantee behind
+// the control plane: every lazy runtime allocates its combiner lanes
+// up front, so a SetPolicy can open group commit on a runtime built
+// with CommitBatch=0.
+func TestLazyRuntimeOpensLaneLater(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lazy = true
+	rt := New(64, cfg)
+	if rt.batch == nil {
+		t.Fatal("lazy runtime built without combiner lanes")
+	}
+	p := rt.Policy()
+	p.CommitBatch = 4
+	rt.SetPolicy(p)
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		_ = rt.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(i%64, uint64(i)); return nil })
+	}
+	if rt.Stats.Commits.Load() < 200 {
+		t.Fatalf("commits = %d", rt.Stats.Commits.Load())
+	}
+	// And close it again; commits must keep flowing on the direct path.
+	p.CommitBatch = 0
+	rt.SetPolicy(p)
+	for i := 0; i < 200; i++ {
+		_ = rt.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(i%64, uint64(i)); return nil })
+	}
+	if rt.Stats.Commits.Load() < 400 {
+		t.Fatalf("commits = %d after closing the lane", rt.Stats.Commits.Load())
+	}
+}
+
+// churnPolicies is the cycle of policies the churn tests rotate
+// through: resolution flips, strategy changes, hybrid, estimator
+// resizes, lane open/close — every dynamic knob the control plane can
+// touch.
+func churnPolicies() []Policy {
+	return []Policy{
+		{Resolution: core.RequestorWins, Strategy: strategy.UniformRW{}, BackoffFactor: 1, MaxRetries: 64},
+		{Resolution: core.RequestorAborts, Strategy: strategy.ExpRA{}, KWindow: 16, BackoffFactor: 2, MaxRetries: 64},
+		{Resolution: core.RequestorWins, Hybrid: true, Strategy: strategy.Hybrid{}, KWindow: 64, CommitBatch: 4, BackoffFactor: 1, MaxRetries: 64},
+		{Resolution: core.RequestorWins, CommitBatch: 2, BackoffFactor: 1, MaxRetries: 64},
+		{Resolution: core.RequestorAborts, Strategy: strategy.ExpRA{}, KWindow: 16, CommitBatch: 8, BackoffFactor: 1},
+	}
+}
+
+// TestSetPolicyChurn hammers one contended arena with worker
+// goroutines while another goroutine swaps the policy as fast as it
+// can, across all three commit modes. The committed state must stay
+// exact: every worker counts its own committed increments of a shared
+// word and a private word, and the arena must agree with those counts
+// when the dust settles — a policy swap may change who wins a
+// conflict, never what a committed transaction wrote. Run under -race
+// this is also the data-race proof for the control plane.
+func TestSetPolicyChurn(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"eager", func() Config { return DefaultConfig() }},
+		{"lazy", func() Config { c := DefaultConfig(); c.Lazy = true; return c }},
+		{"lazy+batched", func() Config {
+			c := DefaultConfig()
+			c.Lazy = true
+			c.CommitBatch = 4
+			return c
+		}},
+	}
+	const workers = 4
+	dur := 150 * time.Millisecond
+	if testing.Short() {
+		dur = 40 * time.Millisecond
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := mode.cfg()
+			cfg.CleanupCost = time.Microsecond
+			cfg.MaxRetries = 256
+			rt := New(1+workers, cfg)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+
+			// The churner: rotate through every dynamic knob,
+			// throttled just enough that it cannot starve the workers
+			// on a single P.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pols := churnPolicies()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rt.SetPolicy(pols[i%len(pols)])
+					time.Sleep(20 * time.Microsecond)
+				}
+			}()
+
+			counts := make([]uint64, workers)
+			root := rng.New(9)
+			for w := 0; w < workers; w++ {
+				w := w
+				r := root.Split()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						err := rt.AtomicWorker(w, r, func(tx *Tx) error {
+							tx.Store(0, tx.Load(0)+1)     // shared hot word
+							tx.Store(1+w, tx.Load(1+w)+1) // private word
+							return nil
+						})
+						if err != nil {
+							panic(fmt.Sprintf("worker %d: %v", w, err))
+						}
+						counts[w]++
+					}
+				}()
+			}
+			time.Sleep(dur)
+			close(stop)
+			wg.Wait()
+
+			var total uint64
+			for w := 0; w < workers; w++ {
+				total += counts[w]
+				if got := rt.ReadCommitted(1 + w); got != counts[w] {
+					t.Errorf("worker %d private word = %d, committed %d transactions", w, got, counts[w])
+				}
+			}
+			if got := rt.ReadCommitted(0); got != total {
+				t.Errorf("shared word = %d, want %d committed increments", got, total)
+			}
+			if total == 0 {
+				t.Fatal("no transactions committed under churn")
+			}
+			if rt.PolicySwaps() == 0 {
+				t.Fatal("churner never swapped")
+			}
+			t.Logf("%s: %d commits under %d policy swaps", mode.name, total, rt.PolicySwaps())
+		})
+	}
+}

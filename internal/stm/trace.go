@@ -68,7 +68,7 @@ func (tx *Tx) beginTrace(worker int) {
 func (tx *Tx) captureFootprint() {
 	tx.tr.Reads = tx.tr.Reads[:0]
 	tx.tr.Writes = tx.tr.Writes[:0]
-	if tx.rt.cfg.Lazy {
+	if tx.rt.lazy {
 		for _, idx := range tx.writeIdx {
 			tx.tr.Writes = append(tx.tr.Writes, uint32(idx))
 		}
@@ -114,5 +114,5 @@ func (tx *Tx) emitTrace(committed bool) {
 	tx.tr.Committed = committed
 	tx.tr.Retries = int(tx.attempts.Load())
 	tx.tr.DurNs = time.Now().UnixNano() - tx.tr.StartUnixNs
-	tx.rt.cfg.Trace.TraceTx(&tx.tr)
+	tx.rt.tracer.TraceTx(&tx.tr)
 }

@@ -207,7 +207,11 @@ func TestTraceKillAccounting(t *testing.T) {
 //  4. both guarantees survive the batched group-commit path
 //     (Config.CommitBatch > 0): the combiner reuses its scratch across
 //     pooled descriptors, so a steady-state batched commit with
-//     tracing off still allocates nothing and pays no gate cost.
+//     tracing off still allocates nothing and pays no gate cost;
+//  5. both guarantees survive a live SetPolicy swap: the control
+//     plane's per-attempt policy load is one atomic pointer read, so
+//     a runtime whose policy has been replaced mid-flight costs the
+//     same as one still on its construction-time policy.
 func TestTraceGateOverhead(t *testing.T) {
 	mk := func(traced *countTracer, batch int) *Runtime {
 		cfg := DefaultConfig()
@@ -233,6 +237,12 @@ func TestTraceGateOverhead(t *testing.T) {
 
 	rtOff := mk(nil, 0)
 	rtBatch := mk(nil, 4)
+	rtSwapped := mk(nil, 0)
+	{ // exercise the control plane: replace the policy before measuring
+		p := rtSwapped.Policy()
+		p.CleanupCost++
+		rtSwapped.SetPolicy(p)
+	}
 	if !raceEnabled { // the race detector randomizes sync.Pool reuse
 		if avg := testing.AllocsPerRun(200, func() {
 			_ = rtOff.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
@@ -243,6 +253,11 @@ func TestTraceGateOverhead(t *testing.T) {
 			_ = rtBatch.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
 		}); avg > 0.5 {
 			t.Errorf("batched tracing-off transaction allocates %.1f objects/op, want 0", avg)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			_ = rtSwapped.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
+		}); avg > 0.5 {
+			t.Errorf("swapped-policy transaction allocates %.1f objects/op, want 0", avg)
 		}
 	}
 
@@ -271,6 +286,7 @@ func TestTraceGateOverhead(t *testing.T) {
 	}{
 		{"eager", rtOff},
 		{"lazy-batched", rtBatch},
+		{"policy-swapped", rtSwapped},
 	} {
 		base, off := 1e18, 1e18
 		for trial := 0; trial < 5; trial++ {

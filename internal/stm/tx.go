@@ -50,6 +50,12 @@ type Tx struct {
 	rt  *Runtime
 	rng *rng.Rand
 
+	// pol is the conflict policy this attempt runs under, latched
+	// from the runtime's atomic policy slot once per attempt (reset):
+	// a SetPolicy racing a running attempt never tears its view, and
+	// every retry picks up the newest policy.
+	pol *Policy
+
 	// state packs the attempt epoch and the status; see the const
 	// block above. Read and CASed by requestors resolving conflicts
 	// against this descriptor.
@@ -139,13 +145,13 @@ func (rt *Runtime) AtomicWorker(worker int, r *rng.Rand, fn func(tx *Tx) error) 
 			rv:  make([]uint64, len(rt.stripes)),
 			wvs: make([]uint64, len(rt.stripes)),
 		}
-		if rt.cfg.Lazy {
+		if rt.lazy {
 			tx.writeVals = make(map[int]uint64, 8)
 		}
 	}
 	tx.rng = r
 	tx.attempts.Store(0)
-	if tx.traced = rt.cfg.Trace != nil; tx.traced {
+	if tx.traced = rt.tracer != nil; tx.traced {
 		tx.beginTrace(worker)
 	}
 	for {
@@ -161,7 +167,7 @@ func (rt *Runtime) AtomicWorker(worker int, r *rng.Rand, fn func(tx *Tx) error) 
 		}
 		rt.Stats.Aborts.Add(1)
 		tx.attempts.Add(1)
-		if rt.cfg.MaxRetries > 0 && int(tx.attempts.Load()) >= rt.cfg.MaxRetries && !tx.irrevocable.Load() {
+		if mr := tx.pol.MaxRetries; mr > 0 && int(tx.attempts.Load()) >= mr && !tx.irrevocable.Load() {
 			rt.fallback.Lock()
 			tx.irrevocable.Store(true)
 			rt.Stats.Irrevocable.Add(1)
@@ -173,9 +179,10 @@ func (rt *Runtime) AtomicWorker(worker int, r *rng.Rand, fn func(tx *Tx) error) 
 }
 
 // reset opens a fresh attempt: a new epoch (so stale requestors from
-// the previous attempt can neither kill us nor keep waiting on us)
-// and cleared speculative state.
+// the previous attempt can neither kill us nor keep waiting on us),
+// the current conflict policy, and cleared speculative state.
 func (tx *Tx) reset() {
+	tx.pol = tx.rt.pol.Load()
 	tx.state.Store((tx.epoch() + 1) << stateEpochShift) // status = active
 	tx.startNanos.Store(time.Now().UnixNano())
 	clear(tx.rv)
@@ -332,7 +339,7 @@ func (tx *Tx) extend(s int) {
 // Load reads word idx transactionally.
 func (tx *Tx) Load(idx int) uint64 {
 	tx.checkKilled()
-	if !tx.rt.cfg.Lazy {
+	if !tx.rt.lazy {
 		if tx.ownsLock(idx) {
 			return tx.rt.words[idx].Load()
 		}
@@ -365,7 +372,7 @@ func (tx *Tx) Load(idx int) uint64 {
 // Store writes val to word idx transactionally.
 func (tx *Tx) Store(idx int, val uint64) {
 	tx.checkKilled()
-	if tx.rt.cfg.Lazy {
+	if tx.rt.lazy {
 		if _, ok := tx.writeVals[idx]; !ok {
 			tx.writeIdx = append(tx.writeIdx, idx)
 		}
@@ -408,7 +415,7 @@ func (tx *Tx) acquire(idx int) {
 
 // commit finalizes the transaction.
 func (tx *Tx) commit() {
-	if tx.rt.cfg.Lazy {
+	if tx.rt.lazy {
 		tx.commitLazy()
 	} else {
 		tx.commitEager()
@@ -483,12 +490,16 @@ func (tx *Tx) commitLazy() {
 		return
 	}
 	sort.Ints(tx.writeIdx)
-	// Group commit (Config.CommitBatch): hand the sorted write set to
+	// Group commit (Policy.CommitBatch): hand the sorted write set to
 	// the shard combiner instead of fighting for the commit locks
-	// individually. Irrevocable transactions stay on the direct path —
-	// they are already serialized by the fallback token and must not
-	// wait on (or be failed by) a combiner.
-	if tx.rt.batch != nil && !tx.irrevocable.Load() {
+	// individually. The gate is the attempt's latched policy, so a
+	// live SetPolicy opens or closes the combiner lane for the *next*
+	// attempts without disturbing commits already in flight (queued
+	// waiters always self-serve, see batch.go). Irrevocable
+	// transactions stay on the direct path — they are already
+	// serialized by the fallback token and must not wait on (or be
+	// failed by) a combiner.
+	if tx.pol.CommitBatch > 0 && tx.rt.batch != nil && !tx.irrevocable.Load() {
 		tx.commitLazyBatched()
 		return
 	}

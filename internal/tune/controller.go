@@ -1,0 +1,219 @@
+package tune
+
+import (
+	"fmt"
+
+	"txconflict/internal/core"
+	"txconflict/internal/stm"
+	"txconflict/internal/strategy"
+)
+
+// Limits holds every threshold the Controller steers by. Each
+// actuated knob gets a *pair* of thresholds (open/close, high/low)
+// deliberately separated so the controller has hysteresis: a signal
+// sitting exactly on a single boundary would otherwise flip the
+// policy every window, and each flip costs a fresh estimator window
+// and a round of retries under the wrong strategy.
+type Limits struct {
+	// KHigh and KLow bound the Section 9 regime decision on the
+	// windowed chain-length estimate: above KHigh conflicts chain
+	// (k > 2 regime, requestor-wins wins), below KLow they pair off
+	// (k = 2 regime, requestor-aborts wins). Between the two the
+	// current choice stands. The paper's boundary is k = 2; the
+	// estimator reports the mean of a noisy window, so the defaults
+	// straddle it asymmetrically (2.5 / 2.2) — chains must prove
+	// themselves before the controller reaches for kills.
+	KHigh, KLow float64
+
+	// BatchOpenGraceFrac and BatchCloseGraceFrac bound the group
+	// commit decision on the fraction of transaction time spent in
+	// grace waits. Heavy grace waiting on a lazy runtime means
+	// transactions keep finding commit-time locks held; the combiner
+	// amortizes those acquisitions across a batch. Below the close
+	// threshold the lane only adds handoff latency.
+	BatchOpenGraceFrac, BatchCloseGraceFrac float64
+
+	// BatchSize is the lane bound used when the controller opens the
+	// combiner.
+	BatchSize int
+
+	// KWindowMin and KWindowMax bound the estimator window. The
+	// controller grows the window (×2) while successive window means
+	// disagree (variance above KVarHigh — a longer memory smooths
+	// them) and shrinks it (÷2) once they agree tightly (below
+	// KVarLow — a shorter memory tracks phase shifts faster).
+	KWindowMin, KWindowMax int
+	KVarHigh, KVarLow      float64
+
+	// MinWindowCommits gates every decision: a window with fewer
+	// commits is too thin to read a regime from and is skipped
+	// entirely.
+	MinWindowCommits uint64
+}
+
+// DefaultLimits returns the thresholds used by -adaptive runs.
+func DefaultLimits() Limits {
+	return Limits{
+		KHigh:               2.5,
+		KLow:                2.2,
+		BatchOpenGraceFrac:  0.20,
+		BatchCloseGraceFrac: 0.05,
+		BatchSize:           4,
+		KWindowMin:          64,
+		KWindowMax:          1024,
+		KVarHigh:            0.5,
+		KVarLow:             0.05,
+		MinWindowCommits:    50,
+	}
+}
+
+// kHistLen is how many recent window-mean k readings the controller
+// keeps for its variance estimate.
+const kHistLen = 8
+
+// Controller is the pure decision half of the tuner: state is only
+// the short history of k readings it needs for the window-resize
+// rule. It is not safe for concurrent use; the Tuner serializes
+// calls.
+type Controller struct {
+	lim   Limits
+	kHist []float64
+}
+
+// NewController returns a Controller with the given limits. Zero
+// limits fields fall back to DefaultLimits piecewise, so callers can
+// override just the thresholds they care about.
+func NewController(lim Limits) *Controller {
+	def := DefaultLimits()
+	if lim.KHigh <= 0 {
+		lim.KHigh = def.KHigh
+	}
+	if lim.KLow <= 0 {
+		lim.KLow = def.KLow
+	}
+	if lim.BatchOpenGraceFrac <= 0 {
+		lim.BatchOpenGraceFrac = def.BatchOpenGraceFrac
+	}
+	if lim.BatchCloseGraceFrac <= 0 {
+		lim.BatchCloseGraceFrac = def.BatchCloseGraceFrac
+	}
+	if lim.BatchSize <= 0 {
+		lim.BatchSize = def.BatchSize
+	}
+	if lim.KWindowMin <= 0 {
+		lim.KWindowMin = def.KWindowMin
+	}
+	if lim.KWindowMax <= 0 {
+		lim.KWindowMax = def.KWindowMax
+	}
+	if lim.KVarHigh <= 0 {
+		lim.KVarHigh = def.KVarHigh
+	}
+	if lim.KVarLow <= 0 {
+		lim.KVarLow = def.KVarLow
+	}
+	if lim.MinWindowCommits == 0 {
+		lim.MinWindowCommits = def.MinWindowCommits
+	}
+	return &Controller{lim: lim, kHist: make([]float64, 0, kHistLen)}
+}
+
+// Decide inspects one window and returns the policy the runtime
+// should run next, with one reason string per change. An empty reason
+// list means no change (the returned policy is then cur). lazy
+// reports whether the runtime commits lazily — the combiner lane only
+// exists there, so the batch rule is skipped on eager runtimes.
+func (c *Controller) Decide(w Window, kEst float64, lazy bool, cur stm.Policy) (stm.Policy, []string) {
+	if w.Commits < c.lim.MinWindowCommits {
+		return cur, nil
+	}
+	p := cur
+	var reasons []string
+
+	// The k-driven rules need the windowed estimator; bootstrap it
+	// before reading anything from kEst.
+	if p.KWindow == 0 {
+		p.KWindow = c.lim.KWindowMin
+		reasons = append(reasons,
+			fmt.Sprintf("bootstrap: open k estimator window (kw=%d)", p.KWindow))
+		return p, reasons
+	}
+
+	// Section 9 regime flip, gated on the window actually having
+	// conflicts: an idle estimator reads 0, which is a statement
+	// about load, not about chain length.
+	if w.GraceWaitNs > 0 || w.KillsIssued > 0 {
+		switch {
+		case kEst > c.lim.KHigh && p.Resolution != core.RequestorWins:
+			p.Resolution = core.RequestorWins
+			p.Strategy = strategy.UniformRW{}
+			reasons = append(reasons, fmt.Sprintf(
+				"k=%.2f > %.2f: chained conflicts, requestor-wins + RRW", kEst, c.lim.KHigh))
+		case kEst > 0 && kEst < c.lim.KLow && p.Resolution != core.RequestorAborts:
+			p.Resolution = core.RequestorAborts
+			p.Strategy = strategy.ExpRA{}
+			reasons = append(reasons, fmt.Sprintf(
+				"k=%.2f < %.2f: pair conflicts, requestor-aborts + RRA", kEst, c.lim.KLow))
+		}
+	}
+
+	// Group-commit lane, lazy runtimes only.
+	if lazy {
+		gf := w.GraceFrac()
+		switch {
+		case p.CommitBatch == 0 && gf > c.lim.BatchOpenGraceFrac:
+			p.CommitBatch = c.lim.BatchSize
+			reasons = append(reasons, fmt.Sprintf(
+				"grace %.0f%% of tx time > %.0f%%: open group-commit lane (b=%d)",
+				gf*100, c.lim.BatchOpenGraceFrac*100, p.CommitBatch))
+		case p.CommitBatch > 0 && gf < c.lim.BatchCloseGraceFrac:
+			p.CommitBatch = 0
+			reasons = append(reasons, fmt.Sprintf(
+				"grace %.0f%% of tx time < %.0f%%: close group-commit lane",
+				gf*100, c.lim.BatchCloseGraceFrac*100))
+		}
+	}
+
+	// Estimator window resize from the variance of recent window
+	// means.
+	if kEst > 0 {
+		c.kHist = append(c.kHist, kEst)
+		if len(c.kHist) > kHistLen {
+			c.kHist = c.kHist[1:]
+		}
+	}
+	if len(c.kHist) >= 4 {
+		v := variance(c.kHist)
+		switch {
+		case v > c.lim.KVarHigh && p.KWindow*2 <= c.lim.KWindowMax:
+			p.KWindow *= 2
+			reasons = append(reasons, fmt.Sprintf(
+				"k variance %.2f > %.2f: grow estimator window to %d", v, c.lim.KVarHigh, p.KWindow))
+			c.kHist = c.kHist[:0]
+		case v < c.lim.KVarLow && p.KWindow/2 >= c.lim.KWindowMin:
+			p.KWindow /= 2
+			reasons = append(reasons, fmt.Sprintf(
+				"k variance %.2f < %.2f: shrink estimator window to %d", v, c.lim.KVarLow, p.KWindow))
+			c.kHist = c.kHist[:0]
+		}
+	}
+
+	if len(reasons) == 0 {
+		return cur, nil
+	}
+	return p, reasons
+}
+
+func variance(xs []float64) float64 {
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return v / float64(len(xs))
+}

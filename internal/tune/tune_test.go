@@ -1,0 +1,316 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"txconflict/internal/core"
+	"txconflict/internal/stm"
+)
+
+// feed pushes n synthetic committed transactions into s, each with
+// the given grace-wait and total duration.
+func feed(s *Sampler, n int, graceNs, durNs int64) {
+	for i := 0; i < n; i++ {
+		s.TraceTx(&stm.TxTrace{Committed: true, GraceWaitNs: graceNs, DurNs: durNs})
+	}
+}
+
+type recordingTracer struct {
+	n         int
+	annotated int
+}
+
+func (r *recordingTracer) TraceTx(*stm.TxTrace) { r.n++ }
+func (r *recordingTracer) AnnotateProgram(worker, ops int, compute, think float64) {
+	r.annotated++
+}
+
+func TestSamplerCountersAndTee(t *testing.T) {
+	next := &recordingTracer{}
+	s := NewSampler(next)
+	s.TraceTx(&stm.TxTrace{Committed: true, Retries: 2, KillsIssued: 1, GraceWaitNs: 100, DurNs: 1000})
+	s.TraceTx(&stm.TxTrace{Committed: false, KillsSuffered: 3, Irrevocable: true, DurNs: 500})
+	s.AnnotateProgram(0, 4, 1.5, 0)
+
+	c := s.Counters()
+	want := Counters{
+		Commits: 1, UserAborts: 1, Retries: 2,
+		KillsIssued: 1, KillsSuffered: 3, Irrevocable: 1,
+		GraceWaitNs: 100, DurNs: 1500,
+	}
+	if c != want {
+		t.Fatalf("counters = %+v, want %+v", c, want)
+	}
+	if next.n != 2 || next.annotated != 1 {
+		t.Fatalf("tee saw %d traces / %d annotations, want 2 / 1", next.n, next.annotated)
+	}
+
+	// Window math over a delta.
+	prev := c
+	feed(s, 3, 50, 100)
+	w := s.Counters().Sub(prev, time.Second)
+	if w.Commits != 3 || w.GraceWaitNs != 150 || w.DurNs != 300 {
+		t.Fatalf("window = %+v", w.Counters)
+	}
+	if got := w.GraceFrac(); got != 0.5 {
+		t.Fatalf("GraceFrac = %v, want 0.5", got)
+	}
+	if got := w.CommitsPerSec(); got != 3 {
+		t.Fatalf("CommitsPerSec = %v, want 3", got)
+	}
+}
+
+func TestSamplerWithoutTee(t *testing.T) {
+	s := NewSampler(nil)
+	s.TraceTx(&stm.TxTrace{Committed: true})
+	s.AnnotateProgram(0, 1, 0, 0) // must not panic with no downstream
+	if s.Counters().Commits != 1 {
+		t.Fatal("commit not counted")
+	}
+}
+
+// activeWindow is a Window busy enough to pass the MinWindowCommits
+// gate, with conflict evidence so the regime rules engage.
+func activeWindow(graceFrac float64) Window {
+	const dur = 1_000_000
+	return Window{
+		Counters: Counters{
+			Commits:     1000,
+			Retries:     100,
+			GraceWaitNs: int64(graceFrac * dur),
+			DurNs:       dur,
+		},
+		Elapsed: time.Second,
+	}
+}
+
+func basePolicy() stm.Policy {
+	return stm.Policy{Resolution: core.RequestorAborts, KWindow: 64, BackoffFactor: 1}
+}
+
+func TestControllerThinWindowSkipped(t *testing.T) {
+	c := NewController(Limits{})
+	w := activeWindow(0.1)
+	w.Commits = 10 // below MinWindowCommits
+	p, reasons := c.Decide(w, 5, true, basePolicy())
+	if len(reasons) != 0 || p != basePolicy() {
+		t.Fatalf("thin window decided: %v", reasons)
+	}
+}
+
+func TestControllerBootstrapsEstimator(t *testing.T) {
+	c := NewController(Limits{})
+	cur := basePolicy()
+	cur.KWindow = 0
+	p, reasons := c.Decide(activeWindow(0.1), 0, true, cur)
+	if p.KWindow != DefaultLimits().KWindowMin {
+		t.Fatalf("KWindow = %d, want %d", p.KWindow, DefaultLimits().KWindowMin)
+	}
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "bootstrap") {
+		t.Fatalf("reasons = %v", reasons)
+	}
+}
+
+func TestControllerRegimeFlip(t *testing.T) {
+	c := NewController(Limits{})
+
+	// Long chains: flip RA -> RW.
+	p, reasons := c.Decide(activeWindow(0.1), 3.0, true, basePolicy())
+	if p.Resolution != core.RequestorWins || p.Strategy == nil || p.Strategy.Name() != "RRW" {
+		t.Fatalf("k=3.0 policy = %s, want requestor-wins/RRW (%v)", p, reasons)
+	}
+
+	// Pair conflicts: flip RW -> RA.
+	cur := basePolicy()
+	cur.Resolution = core.RequestorWins
+	p, _ = c.Decide(activeWindow(0.1), 2.0, true, cur)
+	if p.Resolution != core.RequestorAborts || p.Strategy == nil || p.Strategy.Name() != "RRA" {
+		t.Fatalf("k=2.0 policy = %s, want requestor-aborts/RRA", p)
+	}
+
+	// Hysteresis band: k between KLow and KHigh keeps the current
+	// choice, in both directions.
+	for _, res := range []core.Policy{core.RequestorAborts, core.RequestorWins} {
+		cur := basePolicy()
+		cur.Resolution = res
+		p, reasons := c.Decide(activeWindow(0.1), 2.35, true, cur)
+		if p.Resolution != res {
+			t.Fatalf("k=2.35 flipped %v -> %v (%v)", res, p.Resolution, reasons)
+		}
+	}
+
+	// No conflict evidence in the window: a 0 estimate must not force
+	// a flip.
+	w := activeWindow(0)
+	w.GraceWaitNs, w.KillsIssued = 0, 0
+	cur = basePolicy()
+	cur.Resolution = core.RequestorWins
+	p, _ = c.Decide(w, 0, true, cur)
+	if p.Resolution != core.RequestorWins {
+		t.Fatal("idle window flipped the resolution policy")
+	}
+}
+
+func TestControllerBatchLane(t *testing.T) {
+	c := NewController(Limits{})
+
+	// Heavy grace waiting on a lazy runtime opens the lane.
+	p, reasons := c.Decide(activeWindow(0.5), 2.35, true, basePolicy())
+	if p.CommitBatch != DefaultLimits().BatchSize {
+		t.Fatalf("CommitBatch = %d, want %d (%v)", p.CommitBatch, DefaultLimits().BatchSize, reasons)
+	}
+
+	// Contention gone: close it.
+	cur := basePolicy()
+	cur.CommitBatch = 4
+	p, _ = c.Decide(activeWindow(0.01), 2.35, true, cur)
+	if p.CommitBatch != 0 {
+		t.Fatalf("CommitBatch = %d after contention dropped, want 0", p.CommitBatch)
+	}
+
+	// In between: hold.
+	cur.CommitBatch = 4
+	p, reasons = c.Decide(activeWindow(0.1), 2.35, true, cur)
+	if p.CommitBatch != 4 || len(reasons) != 0 {
+		t.Fatalf("mid-band changed lane: %d (%v)", p.CommitBatch, reasons)
+	}
+
+	// Eager runtimes never get a lane.
+	p, _ = c.Decide(activeWindow(0.5), 2.35, false, basePolicy())
+	if p.CommitBatch != 0 {
+		t.Fatal("controller opened a combiner lane on an eager runtime")
+	}
+}
+
+func TestControllerKWindowResize(t *testing.T) {
+	c := NewController(Limits{})
+
+	// Four noisy window means: grow.
+	var p stm.Policy
+	for i, k := range []float64{2.3, 4.5, 2.3, 4.5} {
+		p, _ = c.Decide(activeWindow(0.1), k, true, basePolicy())
+		if i < 3 && p.KWindow != 64 {
+			t.Fatalf("resized after only %d samples", i+1)
+		}
+	}
+	if p.KWindow != 128 {
+		t.Fatalf("KWindow = %d after noisy means, want 128", p.KWindow)
+	}
+
+	// Four near-identical means on a large window: shrink.
+	c = NewController(Limits{})
+	cur := basePolicy()
+	cur.KWindow = 256
+	for _, k := range []float64{2.35, 2.36, 2.35, 2.36} {
+		p, _ = c.Decide(activeWindow(0.1), k, true, cur)
+	}
+	if p.KWindow != 128 {
+		t.Fatalf("KWindow = %d after stable means, want 128", p.KWindow)
+	}
+
+	// Never below the floor.
+	c = NewController(Limits{})
+	cur.KWindow = DefaultLimits().KWindowMin
+	for _, k := range []float64{2.35, 2.36, 2.35, 2.36} {
+		p, _ = c.Decide(activeWindow(0.1), k, true, cur)
+	}
+	if p.KWindow != DefaultLimits().KWindowMin {
+		t.Fatalf("KWindow = %d, shrank below the floor", p.KWindow)
+	}
+}
+
+func TestTunerStepAppliesDecision(t *testing.T) {
+	s := NewSampler(nil)
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = true
+	cfg.Trace = s
+	cfg.KWindow = 64
+	cfg.Policy = core.RequestorAborts
+	rt := stm.New(64, cfg)
+
+	tn := New(rt, s, Limits{}, time.Hour) // Step drives it, not the ticker
+	// Window 1: busy with heavy grace waiting — lane should open.
+	feed(s, 1000, 600, 1000)
+	if !tn.Step() {
+		t.Fatal("Step made no decision on a contended window")
+	}
+	if got := rt.Policy().CommitBatch; got != DefaultLimits().BatchSize {
+		t.Fatalf("runtime CommitBatch = %d after step, want %d", got, DefaultLimits().BatchSize)
+	}
+	if rt.PolicySwaps() == 0 {
+		t.Fatal("no policy swap recorded")
+	}
+
+	// Window 2: idle — below the commit gate, no decision.
+	if tn.Step() {
+		t.Fatal("Step decided on an idle window")
+	}
+
+	v := tn.View()
+	if len(v.Decisions) != 1 || !v.Auto {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Policy != rt.Policy().String() {
+		t.Fatalf("view policy %q != runtime policy %q", v.Policy, rt.Policy().String())
+	}
+}
+
+func TestTunerOverrideAndResume(t *testing.T) {
+	s := NewSampler(nil)
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = true
+	cfg.Trace = s
+	rt := stm.New(64, cfg)
+	tn := New(rt, s, Limits{}, time.Hour)
+
+	p := rt.Policy()
+	p.Hybrid = true
+	tn.Override(p)
+	if !rt.Policy().Hybrid {
+		t.Fatal("override not applied")
+	}
+	if v := tn.View(); v.Auto {
+		t.Fatal("view still reports auto after override")
+	}
+
+	// While overridden, a contended window must not be acted on.
+	feed(s, 1000, 600, 1000)
+	if tn.Step() {
+		t.Fatal("Step decided while manually overridden")
+	}
+
+	tn.Resume()
+	if v := tn.View(); !v.Auto {
+		t.Fatal("view not auto after resume")
+	}
+	ds := tn.Decisions()
+	if len(ds) != 2 {
+		t.Fatalf("decision log has %d entries, want 2 (override + resume)", len(ds))
+	}
+	if ds[0].Seq >= ds[1].Seq {
+		t.Fatal("decision sequence not increasing")
+	}
+}
+
+func TestTunerStartStop(t *testing.T) {
+	s := NewSampler(nil)
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = true
+	cfg.Trace = s
+	rt := stm.New(64, cfg)
+	tn := New(rt, s, Limits{}, time.Millisecond)
+	tn.Start()
+	tn.Start() // idempotent
+	feed(s, 1000, 600, 1000)
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.PolicySwaps() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	tn.Stop()
+	tn.Stop() // idempotent
+	if rt.PolicySwaps() == 0 {
+		t.Fatal("background loop never applied a decision")
+	}
+}

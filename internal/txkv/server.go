@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"txconflict/internal/core"
 	"txconflict/internal/rng"
+	"txconflict/internal/strategy"
+	"txconflict/internal/tune"
 )
 
 // maxBatchOps bounds one request's batch so a single POST cannot
@@ -25,6 +29,7 @@ const maxBatchOps = 4096
 // httptest.
 type Server struct {
 	store *Store
+	tuner *tune.Tuner
 
 	jobs   chan job
 	quit   chan struct{}
@@ -70,10 +75,25 @@ func NewServer(store *Store, workers int, seed uint64) *Server {
 // Store returns the served store (for post-shutdown verification).
 func (sv *Server) Store() *Store { return sv.store }
 
-// Close drains the worker pool. In-flight requests racing Close may
-// fail with "server closed"; callers should stop traffic first.
+// AttachTuner hands the server an adaptive control loop over the
+// store's runtime; /v1/policy then renders its decision log and POST
+// overrides route through it (suspending automatic decisions until a
+// {"resume":true} POST). Attach before serving traffic — the field is
+// not synchronized against concurrent requests. The server stops the
+// tuner on Close.
+func (sv *Server) AttachTuner(t *tune.Tuner) { sv.tuner = t }
+
+// Tuner returns the attached control loop, nil when static.
+func (sv *Server) Tuner() *tune.Tuner { return sv.tuner }
+
+// Close drains the worker pool (stopping the attached tuner first, if
+// any). In-flight requests racing Close may fail with "server
+// closed"; callers should stop traffic first.
 func (sv *Server) Close() {
 	if sv.closed.CompareAndSwap(false, true) {
+		if sv.tuner != nil {
+			sv.tuner.Stop()
+		}
 		close(sv.quit)
 		sv.wg.Wait()
 	}
@@ -109,7 +129,10 @@ type batchResponse struct {
 // ServeHTTP implements the front-end API:
 //
 //	POST /v1/batch   {"ops":[{"op":"put","key":1,"val":2},...]}
-//	GET  /v1/stats   committed size + runtime counters
+//	GET  /v1/stats   committed size + live runtime counters and policy
+//	GET  /v1/policy  current policy + tuner decision log
+//	POST /v1/policy  manual policy override (suspends the tuner) or
+//	                 {"resume":true} to hand control back
 //	GET  /v1/check   structural invariants (quiescent stores only)
 //	GET  /healthz    liveness
 func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -117,11 +140,19 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/v1/batch":
 		sv.handleBatch(w, r)
 	case "/v1/stats":
-		writeJSON(w, map[string]any{
-			"len":    sv.store.Len(),
-			"stm":    sv.store.Runtime().Stats.Snapshot(),
-			"config": sv.store.Runtime().Config().String(),
-		})
+		rt := sv.store.Runtime()
+		st := map[string]any{
+			"len":         sv.store.Len(),
+			"stm":         rt.Stats.Snapshot(),
+			"config":      rt.Config().String(),
+			"policy":      rt.Policy().String(),
+			"kEstimate":   rt.KEstimate(),
+			"policySwaps": rt.PolicySwaps(),
+			"adaptive":    sv.tuner != nil,
+		}
+		writeJSON(w, st)
+	case "/v1/policy":
+		sv.handlePolicy(w, r)
 	case "/v1/check":
 		if err := sv.store.CheckInvariants(); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -152,6 +183,104 @@ func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, batchResponse{Results: results})
+}
+
+// policyRequest is the POST /v1/policy wire format. Every field is
+// optional; absent fields keep their current value, so a request can
+// flip one knob without restating the rest. {"resume":true} instead
+// lifts a manual override and hands control back to the tuner.
+type policyRequest struct {
+	Resolution  *string `json:"resolution"` // "rw" | "ra"
+	Hybrid      *bool   `json:"hybrid"`
+	Strategy    *string `json:"strategy"` // registry name; "" = NO_DELAY
+	KWindow     *int    `json:"kWindow"`
+	CommitBatch *int    `json:"commitBatch"`
+	MaxRetries  *int    `json:"maxRetries"`
+	Resume      bool    `json:"resume"`
+}
+
+// policyView renders the control plane: the tuner's view when one is
+// attached (decision log included), a static snapshot otherwise.
+func (sv *Server) policyView() tune.PolicyView {
+	if sv.tuner != nil {
+		return sv.tuner.View()
+	}
+	rt := sv.store.Runtime()
+	return tune.PolicyView{
+		Policy:    rt.Policy().String(),
+		Auto:      false,
+		Swaps:     rt.PolicySwaps(),
+		KEstimate: rt.KEstimate(),
+	}
+}
+
+func (sv *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	rt := sv.store.Runtime()
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, sv.policyView())
+	case http.MethodPost:
+		var req policyRequest
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "bad policy: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Resume {
+			if sv.tuner == nil {
+				http.Error(w, "no tuner attached (start with -adaptive)", http.StatusConflict)
+				return
+			}
+			sv.tuner.Resume()
+			writeJSON(w, sv.policyView())
+			return
+		}
+		p := rt.Policy()
+		if req.Resolution != nil {
+			switch strings.ToLower(*req.Resolution) {
+			case "rw", "requestorwins":
+				p.Resolution = core.RequestorWins
+			case "ra", "requestoraborts":
+				p.Resolution = core.RequestorAborts
+			default:
+				http.Error(w, fmt.Sprintf("bad policy: unknown resolution %q (want rw or ra)", *req.Resolution),
+					http.StatusBadRequest)
+				return
+			}
+		}
+		if req.Hybrid != nil {
+			p.Hybrid = *req.Hybrid
+		}
+		if req.Strategy != nil {
+			if *req.Strategy == "" {
+				p.Strategy = nil
+			} else {
+				s, err := strategy.ByName(*req.Strategy)
+				if err != nil {
+					http.Error(w, "bad policy: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				p.Strategy = s
+			}
+		}
+		if req.KWindow != nil {
+			p.KWindow = *req.KWindow
+		}
+		if req.CommitBatch != nil {
+			p.CommitBatch = *req.CommitBatch
+		}
+		if req.MaxRetries != nil {
+			p.MaxRetries = *req.MaxRetries
+		}
+		if sv.tuner != nil {
+			sv.tuner.Override(p)
+		} else {
+			rt.SetPolicy(p)
+		}
+		writeJSON(w, sv.policyView())
+	default:
+		http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

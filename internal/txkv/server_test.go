@@ -1,14 +1,17 @@
 package txkv
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"txconflict/internal/core"
 	"txconflict/internal/rng"
 	"txconflict/internal/stm"
+	"txconflict/internal/tune"
 )
 
 // TestTxkvdSmoke is the CI smoke test for the serving stack (make
@@ -126,4 +129,137 @@ func TestServerEndpoints(t *testing.T) {
 	if _, err := sv.Exec(make([]Op, maxBatchOps+1)); err == nil {
 		t.Fatal("oversized batch accepted")
 	}
+}
+
+// TestPolicyEndpoint covers the control-plane surface: reading the
+// live policy, manual overrides (with and without an attached tuner),
+// resume, and rejection of malformed overrides.
+func TestPolicyEndpoint(t *testing.T) {
+	getView := func(ts *httptest.Server) tune.PolicyView {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/policy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/policy = %s", resp.Status)
+		}
+		var v tune.PolicyView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	post := func(ts *httptest.Server, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/policy", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	t.Run("static", func(t *testing.T) {
+		w, err := ByName("readmostly", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := stm.DefaultConfig()
+		cfg.Lazy = true
+		store := w.NewStore(Config{STM: cfg})
+		sv := NewServer(store, 2, 1)
+		defer sv.Close()
+		ts := httptest.NewServer(sv)
+		defer ts.Close()
+
+		if v := getView(ts); v.Auto || v.Policy != store.Runtime().Policy().String() {
+			t.Fatalf("static view = %+v", v)
+		}
+		// Partial override applies directly to the runtime.
+		resp := post(ts, `{"commitBatch":8,"strategy":"RRW"}`)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("override = %s", resp.Status)
+		}
+		p := store.Runtime().Policy()
+		if p.CommitBatch != 8 || p.Strategy == nil || p.Strategy.Name() != "RRW" {
+			t.Fatalf("policy after override = %s", p)
+		}
+		// Resume without a tuner is a conflict.
+		resp = post(ts, `{"resume":true}`)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("resume without tuner = %s, want 409", resp.Status)
+		}
+		// Unknown resolution and unknown strategy are 400s.
+		for _, bad := range []string{`{"resolution":"sideways"}`, `{"strategy":"nope"}`, `{`} {
+			resp = post(ts, bad)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("POST %s = %s, want 400", bad, resp.Status)
+			}
+		}
+		// Stats carries the control-plane fields.
+		resp, err = http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		for _, key := range []string{"policy", "kEstimate", "policySwaps", "adaptive", "stm", "len"} {
+			if _, ok := st[key]; !ok {
+				t.Fatalf("/v1/stats missing %q: %v", key, st)
+			}
+		}
+		if st["adaptive"] != false {
+			t.Fatal("static server reports adaptive=true")
+		}
+	})
+
+	t.Run("tuned", func(t *testing.T) {
+		w, err := ByName("readmostly", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := stm.DefaultConfig()
+		cfg.Lazy = true
+		sampler := tune.NewSampler(cfg.Trace)
+		cfg.Trace = sampler
+		store := w.NewStore(Config{STM: cfg})
+		sv := NewServer(store, 2, 1)
+		sv.AttachTuner(tune.New(store.Runtime(), sampler, tune.Limits{}, time.Hour))
+		defer sv.Close()
+		ts := httptest.NewServer(sv)
+		defer ts.Close()
+
+		if v := getView(ts); !v.Auto {
+			t.Fatalf("tuned view = %+v, want auto", v)
+		}
+		// Override suspends the tuner and logs the decision.
+		resp := post(ts, `{"resolution":"rw","hybrid":false}`)
+		resp.Body.Close()
+		v := getView(ts)
+		if v.Auto {
+			t.Fatal("tuner still auto after override")
+		}
+		if len(v.Decisions) == 0 {
+			t.Fatal("override not logged")
+		}
+		if store.Runtime().Policy().Resolution != core.RequestorWins {
+			t.Fatal("override not applied")
+		}
+		// Resume hands control back.
+		resp = post(ts, `{"resume":true}`)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("resume = %s", resp.Status)
+		}
+		if v := getView(ts); !v.Auto {
+			t.Fatal("tuner not auto after resume")
+		}
+	})
 }

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short race-adaptive scenario-parity smoke-txkv bench bench-stm bench-adaptive bench-batch bench-txkv trace-demo fuzz-trace tidy
+.PHONY: all build vet test race-short race-adaptive scenario-parity smoke-txkv bench bench-stm bench-adaptive bench-batch bench-fold bench-fleet bench-txkv trace-demo fuzz-trace tidy
 
 all: build vet test
 
@@ -27,13 +27,16 @@ race-short:
 	$(GO) test -race -short ./internal/stm/ ./internal/htm/ ./internal/scenario/ ./internal/trace/ ./internal/experiments/ ./internal/txkv/
 
 # Adaptive control-plane race cell: SetPolicy churn against live
-# traffic on all three commit modes (internal/stm), the cross-mode
-# equivalence suite under mid-run policy flips (internal/scenario),
-# and the tune loop itself (internal/tune), all under the race
-# detector. CI runs this in the GOMAXPROCS=4 matrix cell.
+# traffic on all three commit modes (internal/stm) — including the
+# kill-heavy commutative-fold churn, which flips FoldCommutative
+# mid-run against mixed Add/Store traffic on the same hot words — the
+# cross-mode equivalence suite under mid-run policy flips
+# (internal/scenario), and the tune loop itself (internal/tune), all
+# under the race detector. CI runs this in the GOMAXPROCS=4 matrix
+# cell.
 race-adaptive:
 	$(GO) test -race -count=1 ./internal/tune/
-	$(GO) test -race -count=1 -run 'TestSetPolicyChurn' ./internal/stm/
+	$(GO) test -race -count=1 -run 'TestSetPolicyChurn|TestFoldPolicyChurn' ./internal/stm/
 	$(GO) test -race -count=1 -run 'TestCrossModePolicyChurn' ./internal/scenario/
 
 # Cross-backend scenario parity plus the cross-mode (eager vs lazy vs
@@ -72,6 +75,24 @@ bench-adaptive:
 # parallelism (see BenchmarkSTMCommitBatch's doc comment).
 bench-batch:
 	$(GO) test -run '^$$' -bench STMCommitBatch -cpu 8 -benchtime 300ms .
+
+# Commutative folding A/B: the perf snapshot plus the foldSweep
+# section — hotspot commits/sec with the combiner folding blind
+# increments (fold on) vs writing them back in roster order (fold
+# off), at batch 4 and 8. CI runs this as a non-blocking step and
+# uploads the snapshot; on a single-CPU runner expect parity, not
+# speedup (see experiments.STMFoldPerf).
+bench-fold:
+	$(GO) run ./cmd/stmbench -perf -fold -batch 4 -out BENCH_stm.json
+
+# The full fleet matrix: scenario x shards {0,1} x batch {0,4,8}
+# (x fold where the batch lane is open, with -fold) at 1/4/8
+# goroutines, each cell a trimmed perf snapshot. Entries APPEND to
+# BENCH_stm.json with a machine stamp (GOMAXPROCS, NumCPU, go
+# version, timestamp), so the file accumulates a cross-machine
+# history instead of being overwritten.
+bench-fleet:
+	$(GO) run ./cmd/stmbench -scenario all -fleet -fold -out BENCH_stm.json
 
 # Machine-readable keyed-store perf trajectory: verified keyed
 # ops/sec for every txkv workload on all three commit paths (eager /

@@ -232,46 +232,66 @@ func BenchmarkSTMArenaSharding(b *testing.B) {
 // serializes commits anyway and there is nothing to amortize) the
 // sweep measures the combiner handshake overhead instead, and batched
 // cells sit at parity with the baseline.
+//
+// The hotspot /fold cells re-run the batched cells with commutative
+// delta folding on (stm.Config.FoldCommutative): the scenario's blind
+// increments commit as one summed store per hot word instead of a
+// roster-order write-back chain. Select just those cells with
+// -bench 'STMCommitBatch/.*fold'.
 func BenchmarkSTMCommitBatch(b *testing.B) {
 	const workers = 8
 	for _, bench := range []string{"hotspot", "txapp"} {
 		for _, batch := range []int{0, 2, 4, 8} {
-			b.Run(fmt.Sprintf("%s/batch=%d", bench, batch), func(b *testing.B) {
-				sc, err := scenario.ByName(bench, scenario.Options{
-					Workers: workers,
-					Think:   dist.Constant{V: 0},
+			// Commutative folding only has cells where it can act: the
+			// blind-increment scenario, inside the combiner. The /fold
+			// suffix keeps the cells selectable with -bench '/fold'.
+			folds := []bool{false}
+			if bench == "hotspot" && batch > 0 {
+				folds = append(folds, true)
+			}
+			for _, fold := range folds {
+				name := fmt.Sprintf("%s/batch=%d", bench, batch)
+				if fold {
+					name += "/fold"
+				}
+				b.Run(name, func(b *testing.B) {
+					sc, err := scenario.ByName(bench, scenario.Options{
+						Workers: workers,
+						Think:   dist.Constant{V: 0},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := stm.DefaultConfig()
+					cfg.Lazy = true
+					cfg.CommitBatch = batch
+					cfg.FoldCommutative = fold
+					cfg.MaxRetries = 256
+					rn := scenario.NewSTMRunner(sc, cfg)
+					root := rng.New(1)
+					counts := make([]uint64, workers)
+					var remaining atomic.Int64
+					remaining.Store(int64(b.N))
+					var wg sync.WaitGroup
+					b.ResetTimer()
+					for w := 0; w < workers; w++ {
+						w, r := w, root.Split()
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for remaining.Add(-1) >= 0 {
+								rn.RunOne(w, r)
+								counts[w]++
+							}
+						}()
+					}
+					wg.Wait()
+					b.StopTimer()
+					if err := rn.Check(counts); err != nil {
+						b.Fatal(err)
+					}
 				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				cfg := stm.DefaultConfig()
-				cfg.Lazy = true
-				cfg.CommitBatch = batch
-				cfg.MaxRetries = 256
-				rn := scenario.NewSTMRunner(sc, cfg)
-				root := rng.New(1)
-				counts := make([]uint64, workers)
-				var remaining atomic.Int64
-				remaining.Store(int64(b.N))
-				var wg sync.WaitGroup
-				b.ResetTimer()
-				for w := 0; w < workers; w++ {
-					w, r := w, root.Split()
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						for remaining.Add(-1) >= 0 {
-							rn.RunOne(w, r)
-							counts[w]++
-						}
-					}()
-				}
-				wg.Wait()
-				b.StopTimer()
-				if err := rn.Check(counts); err != nil {
-					b.Fatal(err)
-				}
-			})
+			}
 		}
 	}
 }

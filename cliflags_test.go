@@ -73,6 +73,16 @@ func TestCmdFlagValidation(t *testing.T) {
 			"txkvd: -batch must be >= 0 (got -1)", ""},
 		{"txkvd negative capacity", "txkvd", []string{"-capacity", "-1"},
 			"txkvd: -capacity must be >= 0 (got -1)", ""},
+		// Dependent flags: -fold only means anything inside the
+		// group-commit combiner, so it must name its prerequisite.
+		{"stmbench fold without batch", "stmbench", []string{"-scenario", "hotspot", "-fold"},
+			"stmbench: -fold requires -batch > 0", ""},
+		{"txkvd fold without batch", "txkvd", []string{"-bench", "-fold"},
+			"txkvd: -fold requires -batch > 0", ""},
+		{"stmbench zero delta", "stmbench", []string{"-scenario", "hotspot", "-delta", "0"},
+			"stmbench: -delta must be > 0 (got 0)", ""},
+		{"txsim zero delta", "txsim", []string{"-scenario", "hotspot", "-delta", "0"},
+			"txsim: -delta must be > 0 (got 0)", ""},
 	}
 	for _, c := range cases {
 		c := c

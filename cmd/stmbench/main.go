@@ -15,8 +15,10 @@
 //	stmbench -scenario txapp -shards 1       # flat single-clock arena
 //	stmbench -scenario txapp -kwindow 64     # windowed chain estimator
 //	stmbench -scenario hotspot -batch 8      # lazy batched group commit
+//	stmbench -scenario hotspot -batch 4 -fold  # commutative delta folding
 //	stmbench -ablate -scenario txapp         # runtime design ablations
 //	stmbench -perf -out BENCH_stm.json       # CI perf snapshot
+//	stmbench -scenario all -fleet -fold -out BENCH_stm.json  # append the fleet matrix
 //
 // Trace capture and replay (internal/trace — the Section 1
 // profile-to-simulation loop):
@@ -27,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,6 +59,8 @@ func main() {
 		policy   = flag.String("policy", "rw", "conflict policy: rw or ra")
 		lazy     = flag.Bool("lazy", false, "use lazy (commit-time) locking instead of eager")
 		batch    = flag.Int("batch", 0, "lazy group-commit batch bound (0 = unbatched; > 0 implies -lazy)")
+		fold     = flag.Bool("fold", false, "fold commutative deltas in the batched combiner (requires -batch > 0); with -perf, adds the foldSweep section")
+		delta    = flag.Int("delta", 1, "Add increment magnitude for the commutative scenarios (hotspot, kvcounter)")
 		shards   = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
 		kwindow  = flag.Int("kwindow", 0, "windowed conflict-chain estimator size (0 = instantaneous 2+waiters)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -63,6 +68,7 @@ func main() {
 		ablate   = flag.Bool("ablate", false, "run the STM design ablations instead of the strategy sweep (baseline pinned: -policy/-lazy/-shards/-kwindow ignored)")
 		adaptive = flag.Bool("adaptive", false, "run the adaptive-control convergence experiment (phase-shifted workload under the internal/tune loop); with -perf, adds the adaptiveSweep section")
 		perf     = flag.Bool("perf", false, "emit the JSON perf snapshot (commits/sec at 1/4/8 procs plus the per-scenario sweep)")
+		fleet    = flag.Bool("fleet", false, "run the scenario x shards x batch perf matrix and append machine-stamped entries to -out (instead of overwriting)")
 		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
 		record   = flag.String("record", "", "record a trace of the scenario run to this file (see internal/trace)")
 		replay   = flag.String("replay", "", "replay a recorded trace file as the benchmark scenario")
@@ -77,6 +83,16 @@ func main() {
 		if err := cliutil.CheckNonNegative(c.name, c.v); err != nil {
 			cliutil.Fatal("stmbench", err)
 		}
+	}
+	if err := cliutil.CheckPositive("delta", *delta); err != nil {
+		cliutil.Fatal("stmbench", err)
+	}
+	// Folding only exists inside the group-commit combiner, so a
+	// -fold without a batch bound would silently measure nothing —
+	// except under -fleet, which sweeps the batch bound itself and
+	// folds only in the batched cells.
+	if err := cliutil.CheckRequires("fold", *fold, *batch > 0 || *fleet, "-batch > 0 (folding happens in the group-commit combiner)"); err != nil {
+		cliutil.Fatal("stmbench", err)
 	}
 
 	sel := *scen
@@ -102,6 +118,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Lazy = *lazy || *batch > 0 // the combiner only exists in lazy mode
 	cfg.CommitBatch = *batch
+	cfg.Fold = *fold
+	cfg.Delta = uint64(*delta)
 	cfg.Shards = *shards
 	cfg.KWindow = *kwindow
 	if strings.EqualFold(*policy, "ra") {
@@ -139,6 +157,10 @@ func main() {
 	}
 	if *record != "" {
 		runRecord(sel, *record, cfg)
+		return
+	}
+	if *fleet {
+		runFleet(sel, cfg, *levels != "", *out)
 		return
 	}
 	if *perf {
@@ -287,6 +309,92 @@ func runFidelity(path string, cfg experiments.STMConfig) {
 		fmt.Fprintln(os.Stderr, "stmbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet runs the scenario x shards x batch perf matrix and
+// *appends* the machine-stamped reports to -out, so one
+// BENCH_stm.json accumulates entries across runs, machines and
+// configurations instead of keeping only the last snapshot
+// (make bench-fleet). Each cell is a Quick STMPerf report — main
+// points only; the matrix supplies the coverage the single-report
+// sweeps would duplicate.
+func runFleet(bench string, cfg experiments.STMConfig, explicitLevels bool, out string) {
+	benches := []string{bench}
+	if bench == "all" {
+		// The write-heavy application plus the foldable counter shape:
+		// the two trajectories the batch and fold work moves.
+		benches = []string{"txapp", "hotspot"}
+	}
+	if !explicitLevels {
+		cfg.Goroutines = []int{1, 4, 8}
+	}
+	cfg.Quick = true
+	var reports []*experiments.STMPerfReport
+	for _, b := range benches {
+		for _, shards := range []int{0, 1} {
+			for _, batch := range []int{0, 4, 8} {
+				c := cfg
+				c.Shards = shards
+				c.CommitBatch = batch
+				c.Lazy = cfg.Lazy || batch > 0
+				c.Fold = cfg.Fold && batch > 0
+				rep, err := experiments.STMPerf(b, c)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "stmbench:", err)
+					os.Exit(1)
+				}
+				reports = append(reports, rep)
+			}
+		}
+	}
+	if out == "" {
+		buf, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(buf, '\n'))
+		return
+	}
+	n, err := appendBench(out, reports)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %d fleet entries to %s (%d total)\n", len(reports), out, n)
+}
+
+// appendBench merges the new reports into the JSON file at path:
+// an existing array gains the new entries, an existing single-report
+// object (the runPerf format) is wrapped into an array first, and a
+// missing or empty file starts one. It returns the resulting entry
+// count.
+func appendBench(path string, reports []*experiments.STMPerfReport) (int, error) {
+	var entries []json.RawMessage
+	if buf, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(buf)) > 0 {
+		trimmed := bytes.TrimSpace(buf)
+		if trimmed[0] == '[' {
+			if err := json.Unmarshal(trimmed, &entries); err != nil {
+				return 0, fmt.Errorf("existing %s: %w", path, err)
+			}
+		} else {
+			entries = append(entries, json.RawMessage(trimmed))
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return 0, err
+	}
+	for _, rep := range reports {
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			return 0, err
+		}
+		entries = append(entries, raw)
+	}
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	return len(entries), os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // runPerf emits the machine-readable perf snapshot for CI

@@ -43,6 +43,7 @@ func main() {
 		mode     = flag.String("mode", "eager", "locking mode: eager or lazy")
 		adaptive = flag.Bool("adaptive", false, "run the internal/tune control loop over the served runtime (serve/-bench modes; implies -mode lazy)")
 		batch    = flag.Int("batch", 0, "lazy group-commit batch bound (0 = unbatched; > 0 implies -mode lazy)")
+		fold     = flag.Bool("fold", false, "escrow-counter mode: key-classed index + commutative delta folding in the combiner (requires -batch > 0)")
 		shards   = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
 		workload = flag.String("workload", "", "keyed workload from internal/txkv (or 'list'); drives -bench/-load/-perf and sizes the served store")
 		distName = flag.String("dist", "", "override the workload's key-rank sampler (see internal/dist; '' = workload zipf default)")
@@ -88,12 +89,18 @@ func main() {
 			cliutil.Fatal("txkvd", err)
 		}
 	}
+	// Folding only exists inside the group-commit combiner; without a
+	// batch bound the escrow store would never fold anything.
+	if err := cliutil.CheckRequires("fold", *fold, *batch > 0, "-batch > 0 (folding happens in the group-commit combiner)"); err != nil {
+		cliutil.Fatal("txkvd", err)
+	}
 
 	cfg := stm.DefaultConfig()
 	// The combiner only exists in lazy mode; adaptive runs lazy too so
 	// the controller may open it.
 	cfg.Lazy = *mode == "lazy" || *batch > 0 || *adaptive
 	cfg.CommitBatch = *batch
+	cfg.FoldCommutative = *fold
 	cfg.Shards = *shards
 	if *adaptive && cfg.KWindow == 0 {
 		cfg.KWindow = 64 // the controller's k rules read the windowed estimator
@@ -144,7 +151,7 @@ func main() {
 	switch {
 	case *bench:
 		sampler := attachSampler(&cfg, *adaptive)
-		s := w.NewStore(txkv.Config{Capacity: *capacity, STM: cfg})
+		s := w.NewStore(txkv.Config{Capacity: *capacity, EscrowCounters: *fold, STM: cfg})
 		var tn *tune.Tuner
 		if sampler != nil {
 			tn = tune.New(s.Runtime(), sampler, tune.Limits{}, 0)
@@ -173,7 +180,7 @@ func main() {
 	case *load != "":
 		runRemote(w, *load, g)
 	default:
-		serve(w, *addr, *capacity, *workers, *seed, cfg, *adaptive)
+		serve(w, *addr, *capacity, *workers, *seed, cfg, *adaptive, *fold)
 	}
 }
 
@@ -196,6 +203,9 @@ func modeLabel(cfg stm.Config, adaptive bool) string {
 	case cfg.Lazy:
 		label = "lazy"
 	}
+	if cfg.FoldCommutative {
+		label += "+fold"
+	}
 	if adaptive {
 		label += "+adaptive"
 	}
@@ -206,9 +216,9 @@ func modeLabel(cfg stm.Config, adaptive bool) string {
 // store is sized for the selected workload unless -capacity is set.
 // With -adaptive, the internal/tune control loop runs over the served
 // runtime and /v1/policy exposes (and overrides) its decisions.
-func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cfg stm.Config, adaptive bool) {
+func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cfg stm.Config, adaptive, escrow bool) {
 	sampler := attachSampler(&cfg, adaptive)
-	s := w.NewStore(txkv.Config{Capacity: capacity, STM: cfg})
+	s := w.NewStore(txkv.Config{Capacity: capacity, EscrowCounters: escrow, STM: cfg})
 	sv := txkv.NewServer(s, workers, seed)
 	if sampler != nil {
 		tn := tune.New(s.Runtime(), sampler, tune.Limits{}, 0)

@@ -58,6 +58,7 @@ func main() {
 		threads  = flag.String("threads", "1,2,4,8,12,16", "comma-separated core counts")
 		cycles   = flag.Uint64("cycles", 2_000_000, "simulated cycles per cell")
 		policy   = flag.String("policy", "rw", "conflict policy: rw or ra")
+		delta    = flag.Int("delta", 1, "Add increment magnitude for the commutative scenarios (hotspot, kvcounter; lowered to read-modify-write on the simulator)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text")
 		detail   = flag.Int("detail", 0, "print detailed metrics for this thread count instead of the sweep")
@@ -73,6 +74,9 @@ func main() {
 		if err := cliutil.CheckNonNegative(c.name, c.v); err != nil {
 			cliutil.Fatal("txsim", err)
 		}
+	}
+	if err := cliutil.CheckPositive("delta", *delta); err != nil {
+		cliutil.Fatal("txsim", err)
 	}
 
 	sel := *scen
@@ -116,7 +120,7 @@ func main() {
 	if strings.EqualFold(*policy, "ra") {
 		pol = core.RequestorAborts
 	}
-	cfg := experiments.Fig3Config{Threads: ths, Cycles: *cycles, Policy: pol, Seed: *seed, GHz: 1}
+	cfg := experiments.Fig3Config{Threads: ths, Cycles: *cycles, Policy: pol, Delta: uint64(*delta), Seed: *seed, GHz: 1}
 	if *distName != "" {
 		smp, err := dist.ByName(*distName, *mu)
 		if err != nil {

@@ -52,6 +52,17 @@ func CheckNonNegative(flagName string, v int) error {
 	return nil
 }
 
+// CheckRequires validates a dependent flag: set reports whether the
+// flag was enabled, ok whether the machinery it depends on is
+// configured, and requirement names that prerequisite (e.g.
+// "-batch > 0"). The error names the flag, like CheckPositive.
+func CheckRequires(flagName string, set, ok bool, requirement string) error {
+	if set && !ok {
+		return fmt.Errorf("-%s requires %s", flagName, requirement)
+	}
+	return nil
+}
+
 // Fatal reports a usage-level error the way every front-end does:
 // "<cmd>: <err>" on stderr, exit status 2 (the flag package's own
 // usage-error status).

@@ -71,3 +71,23 @@ func TestCheckNonNegative(t *testing.T) {
 		t.Fatalf("message lacks the flag name and value: %q", err)
 	}
 }
+
+func TestCheckRequires(t *testing.T) {
+	// Unset flags never trip the check, whether or not the
+	// prerequisite holds.
+	for _, ok := range []bool{false, true} {
+		if err := CheckRequires("fold", false, ok, "-batch > 0"); err != nil {
+			t.Fatalf("unset flag rejected (ok=%v): %v", ok, err)
+		}
+	}
+	if err := CheckRequires("fold", true, true, "-batch > 0"); err != nil {
+		t.Fatalf("satisfied requirement rejected: %v", err)
+	}
+	err := CheckRequires("fold", true, false, "-batch > 0")
+	if err == nil {
+		t.Fatal("unmet requirement accepted")
+	}
+	if !strings.Contains(err.Error(), "-fold requires -batch > 0") {
+		t.Fatalf("message lacks the flag name and requirement: %q", err)
+	}
+}

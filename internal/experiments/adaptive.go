@@ -171,7 +171,7 @@ func AdaptiveConvergence(cfg AdaptiveConfig) (*AdaptiveReport, error) {
 		for _, cand := range adaptiveCandidates() {
 			sCfg := adaptiveBaseConfig()
 			cand.adjust(&sCfg)
-			rn, err := stmScenario(phase, cfg.Length, cfg.Goroutines, sCfg)
+			rn, err := stmScenario(phase, cfg.Length, 0, cfg.Goroutines, sCfg)
 			if err != nil {
 				return nil, err
 			}

@@ -32,6 +32,9 @@ type Fig3Config struct {
 	// Length overrides the scenario's default transaction-length
 	// sampler (the -dist flag); nil keeps the scenario default.
 	Length dist.Sampler
+	// Delta is the Add magnitude for the commutative-counter
+	// scenarios (scenario.Options.Delta; 0 = 1).
+	Delta uint64
 	// Seed feeds all random streams.
 	Seed uint64
 	// GHz converts cycles to seconds for ops/s reporting.
@@ -58,7 +61,7 @@ func Figure3(bench string, cfg Fig3Config) (*report.Table, error) {
 	if len(cfg.Threads) == 0 {
 		cfg = DefaultFig3Config()
 	}
-	tunedProbe, err := workload.ByName(bench, scenario.Options{Length: cfg.Length})
+	tunedProbe, err := workload.ByName(bench, scenario.Options{Length: cfg.Length, Delta: cfg.Delta})
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +77,7 @@ func Figure3(bench string, cfg Fig3Config) (*report.Table, error) {
 	for _, n := range cfg.Threads {
 		row := []interface{}{n}
 		for _, s := range strategies {
-			w, err := workload.ByName(bench, scenario.Options{Length: cfg.Length})
+			w, err := workload.ByName(bench, scenario.Options{Length: cfg.Length, Delta: cfg.Delta})
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +114,7 @@ func TunedDelayFor(bench string, length dist.Sampler) (float64, error) {
 // Fig3Metrics returns the raw metrics for one cell, for detailed
 // inspection (abort rates, conflicts, grace commits).
 func Fig3Metrics(bench string, threads int, s core.Strategy, cfg Fig3Config) (htm.Metrics, error) {
-	w, err := workload.ByName(bench, scenario.Options{Length: cfg.Length})
+	w, err := workload.ByName(bench, scenario.Options{Length: cfg.Length, Delta: cfg.Delta})
 	if err != nil {
 		return htm.Metrics{}, err
 	}
@@ -150,6 +153,17 @@ type STMConfig struct {
 	// (AdaptiveConvergence) to the STMPerf report's adaptiveSweep
 	// section — the stmbench -perf -adaptive path.
 	Adaptive bool
+	// Fold enables commutative delta folding in the batched combiner
+	// (stm.Config.FoldCommutative) and adds the foldSweep section to
+	// the STMPerf report — the stmbench -fold path.
+	Fold bool
+	// Delta is the Add magnitude for the commutative-counter
+	// scenarios (scenario.Options.Delta; 0 = 1).
+	Delta uint64
+	// Quick trims STMPerf to the main points (no per-scenario, batch,
+	// fold or adaptive sweeps) — the bench-fleet path, where the
+	// matrix itself supplies the coverage.
+	Quick bool
 	// Seed feeds the per-goroutine streams.
 	Seed uint64
 }
@@ -174,8 +188,8 @@ func DefaultSTMConfig() STMConfig {
 
 // stmScenario instantiates a registry scenario sized for the given
 // worker count on a fresh STM runtime.
-func stmScenario(bench string, length dist.Sampler, workers int, cfg stm.Config) (*scenario.STMRunner, error) {
-	sc, err := scenario.ByName(bench, scenario.Options{Workers: workers, Length: length})
+func stmScenario(bench string, length dist.Sampler, delta uint64, workers int, cfg stm.Config) (*scenario.STMRunner, error) {
+	sc, err := scenario.ByName(bench, scenario.Options{Workers: workers, Length: length, Delta: delta})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -186,14 +200,15 @@ func stmScenario(bench string, length dist.Sampler, workers int, cfg stm.Config)
 // harnesses from the experiment-level knobs.
 func stmRuntimeConfig(cfg STMConfig, s core.Strategy) stm.Config {
 	return stm.Config{
-		Policy:      cfg.Policy,
-		Strategy:    s,
-		Lazy:        cfg.Lazy,
-		CommitBatch: cfg.CommitBatch,
-		Shards:      cfg.Shards,
-		KWindow:     cfg.KWindow,
-		CleanupCost: 2 * time.Microsecond,
-		MaxRetries:  256,
+		Policy:          cfg.Policy,
+		Strategy:        s,
+		Lazy:            cfg.Lazy,
+		CommitBatch:     cfg.CommitBatch,
+		FoldCommutative: cfg.Fold,
+		Shards:          cfg.Shards,
+		KWindow:         cfg.KWindow,
+		CleanupCost:     2 * time.Microsecond,
+		MaxRetries:      256,
 	}
 }
 
@@ -214,7 +229,7 @@ func stmStrategies(tunedNs float64) []core.Strategy {
 func tuneSTM(bench string, cfg STMConfig) (float64, error) {
 	sCfg := stmRuntimeConfig(cfg, nil)
 	sCfg.MaxRetries = 64
-	rn, err := stmScenario(bench, cfg.Length, 1, sCfg)
+	rn, err := stmScenario(bench, cfg.Length, cfg.Delta, 1, sCfg)
 	if err != nil {
 		return 0, err
 	}
@@ -246,7 +261,7 @@ func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
 	for _, n := range cfg.Goroutines {
 		row := []interface{}{n}
 		for _, s := range stmStrategies(tuned) {
-			rn, err := stmScenario(bench, cfg.Length, n, stmRuntimeConfig(cfg, s))
+			rn, err := stmScenario(bench, cfg.Length, cfg.Delta, n, stmRuntimeConfig(cfg, s))
 			if err != nil {
 				return nil, err
 			}

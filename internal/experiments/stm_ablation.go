@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"txconflict/internal/core"
+	"txconflict/internal/dist"
 	"txconflict/internal/report"
 	"txconflict/internal/scenario"
 	"txconflict/internal/stm"
@@ -94,7 +95,7 @@ func STMAblations(bench string, goroutines int, cfg STMConfig) (*report.Table, e
 			MaxRetries:    256,
 		}
 		v.adjust(&sCfg)
-		rn, err := stmScenario(bench, cfg.Length, goroutines, sCfg)
+		rn, err := stmScenario(bench, cfg.Length, cfg.Delta, goroutines, sCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -140,6 +141,22 @@ type STMBatchPerf struct {
 	BatchFails    uint64  `json:"batchFails,omitempty"`
 }
 
+// STMFoldPerf is one cell of the commutative-folding sweep: the
+// hotspot counter benchmark at the highest goroutine level on the
+// batched lazy path, folding off vs on at each batch bound. Speedup
+// is the fold-on throughput over the fold-off cell at the same
+// batch; on a single-CPU runner the combiner rarely collects
+// multi-member batches, so parity (speedup ≈ 1) is the expected
+// floor there, not a regression.
+type STMFoldPerf struct {
+	CommitBatch   int     `json:"commitBatch"`
+	Fold          bool    `json:"fold"`
+	CommitsPerSec float64 `json:"commitsPerSec"`
+	FoldedCommits uint64  `json:"foldedCommits,omitempty"`
+	FoldedWords   uint64  `json:"foldedWords,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+}
+
 // STMAdaptivePerf is one phase of the adaptive-control trajectory
 // (make bench-adaptive): the tuned runtime's steady-state throughput
 // against the best static policy for the phase.
@@ -155,20 +172,30 @@ type STMAdaptivePerf struct {
 // STMPerfReport is the machine-readable perf trajectory snapshot
 // emitted by `make bench-stm` into BENCH_stm.json.
 type STMPerfReport struct {
-	Bench       string            `json:"bench"`
-	Policy      string            `json:"policy"`
-	Lazy        bool              `json:"lazy"`
-	CommitBatch int               `json:"commitBatch,omitempty"`
-	Shards      int               `json:"shards"`
-	KWindow     int               `json:"kWindow,omitempty"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	DurationMS  int64             `json:"durationMs"`
-	Points      []STMPerfPoint    `json:"points"`
-	Scenarios   []STMScenarioPerf `json:"scenarios"`
+	Bench       string `json:"bench"`
+	Policy      string `json:"policy"`
+	Lazy        bool   `json:"lazy"`
+	CommitBatch int    `json:"commitBatch,omitempty"`
+	Fold        bool   `json:"fold,omitempty"`
+	Shards      int    `json:"shards"`
+	KWindow     int    `json:"kWindow,omitempty"`
+	// Machine stamp: bench-fleet appends reports from several runs
+	// (and machines) into one BENCH_stm.json array, so each entry
+	// records where and when it was measured.
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"numcpu,omitempty"`
+	GoVersion  string            `json:"goVersion,omitempty"`
+	Timestamp  string            `json:"timestamp,omitempty"`
+	DurationMS int64             `json:"durationMs"`
+	Points     []STMPerfPoint    `json:"points"`
+	Scenarios  []STMScenarioPerf `json:"scenarios,omitempty"`
 	// BatchSweep is the lazy group-commit trajectory: the main bench
 	// at the highest goroutine level, CommitBatch swept over
 	// 0 (unbatched baseline) and the batch bounds.
-	BatchSweep []STMBatchPerf `json:"batchSweep"`
+	BatchSweep []STMBatchPerf `json:"batchSweep,omitempty"`
+	// FoldSweep is the commutative-folding trajectory (STMConfig.Fold
+	// / make bench-fold): hotspot at batch 4 and 8, fold off vs on.
+	FoldSweep []STMFoldPerf `json:"foldSweep,omitempty"`
 	// AdaptiveSweep is the phase-shift convergence trajectory
 	// (STMConfig.Adaptive / make bench-adaptive); AdaptiveSwaps is
 	// the tuned runtime's SetPolicy count across it.
@@ -193,13 +220,17 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 		Policy:      cfg.Policy.String(),
 		Lazy:        cfg.Lazy,
 		CommitBatch: cfg.CommitBatch,
+		Fold:        cfg.Fold,
 		KWindow:     cfg.KWindow,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		DurationMS:  cfg.Duration.Milliseconds(),
 	}
 	for _, n := range levels {
 		sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
-		rn, err := stmScenario(bench, cfg.Length, n, sCfg)
+		rn, err := stmScenario(bench, cfg.Length, cfg.Delta, n, sCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -221,9 +252,12 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 	// half the main duration (the trajectory, not a deep benchmark).
 	const scenarioLevel = 4
 	scenarioDur := cfg.Duration / 2
+	if cfg.Quick {
+		return rep, nil
+	}
 	for _, name := range scenario.Names() {
 		sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
-		rn, err := stmScenario(name, cfg.Length, scenarioLevel, sCfg)
+		rn, err := stmScenario(name, cfg.Length, cfg.Delta, scenarioLevel, sCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +279,7 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 		sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
 		sCfg.Lazy = true
 		sCfg.CommitBatch = bsz
-		rn, err := stmScenario(bench, cfg.Length, batchLevel, sCfg)
+		rn, err := stmScenario(bench, cfg.Length, cfg.Delta, batchLevel, sCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -260,6 +294,54 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 			BatchCommits:  m.Stats["batchCommits"],
 			BatchFails:    m.Stats["batchFails"],
 		})
+	}
+	// Commutative-folding sweep: the hotspot counter shape (all-delta
+	// writes, the folding fast path) at the highest level, fold off vs
+	// on per batch bound, so the recorded trajectory pins the speedup
+	// the acceptance gate reads. Think time is zeroed to keep the
+	// cells commit-bound — the regime folding targets; with think time
+	// in the loop the hot word is idle most of the time and both cells
+	// measure the scenario, not the commit path.
+	if cfg.Fold {
+		for _, bsz := range []int{4, 8} {
+			var base float64
+			for _, fold := range []bool{false, true} {
+				sCfg := stmRuntimeConfig(cfg, strategy.UniformRW{})
+				sCfg.Lazy = true
+				sCfg.CommitBatch = bsz
+				sCfg.FoldCommutative = fold
+				sc, err := scenario.ByName("hotspot", scenario.Options{
+					Workers: batchLevel,
+					Length:  cfg.Length,
+					Delta:   cfg.Delta,
+					Think:   dist.Constant{V: 0},
+				})
+				if err != nil {
+					return nil, err
+				}
+				rn := scenario.NewSTMRunner(sc, sCfg)
+				// Full duration, not the trajectory half: the A/B gate
+				// reads these cells, so they get the lowest-variance
+				// window the snapshot budget allows.
+				m, err := measureSTM(rn, batchLevel, cfg.Duration, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: perf fold sweep batch %d fold=%v: %w", bsz, fold, err)
+				}
+				cell := STMFoldPerf{
+					CommitBatch:   bsz,
+					Fold:          fold,
+					CommitsPerSec: m.CommitsPerSec,
+					FoldedCommits: m.Stats["foldedCommits"],
+					FoldedWords:   m.Stats["foldedWords"],
+				}
+				if fold && base > 0 {
+					cell.Speedup = m.CommitsPerSec / base
+				} else if !fold {
+					base = m.CommitsPerSec
+				}
+				rep.FoldSweep = append(rep.FoldSweep, cell)
+			}
+		}
 	}
 	// Adaptive convergence trajectory (make bench-adaptive): the
 	// phase-shift experiment at the highest level.

@@ -42,10 +42,14 @@ func init() {
 }
 
 // newKVCounter builds the keyed hotspot-counter shape: each
-// transaction read-modify-writes one zipf-chosen counter word and
-// the worker's private tally in the same transaction. Committed
-// invariant: Σ counters = Σ tallies — a lost counter update (the
-// classic RMW race) breaks it immediately.
+// transaction increments one zipf-chosen counter word and the
+// worker's private tally in the same transaction, both as tagged
+// commutative deltas (OpAdd — the txkv escrow-counter shape: the
+// program never observes either value, so the STM combiner may fold
+// colliding increments under Policy.FoldCommutative; everywhere else
+// the deltas lower to the classic read-modify-write). Committed
+// invariant: Σ counters = Σ tallies — a lost counter update breaks
+// it immediately.
 func newKVCounter(opt Options) *Scenario {
 	z := dist.NewZipf(kvKeys, 1.2, 1)
 	s := newBase(opt, dist.Constant{V: 40},
@@ -53,11 +57,9 @@ func newKVCounter(opt Options) *Scenario {
 	s.next = func(worker int, r *rng.Rand) Program {
 		key := int(z.Sample(r)) - 1
 		return Program{Ops: []Op{
-			Load(key, 0),
-			Load(kvKeys+worker, 1),
 			Work(s.sampleLen(r)),
-			Store(key, 0, 1),
-			Store(kvKeys+worker, 1, 1),
+			Add(key, s.delta),
+			Add(kvKeys+worker, s.delta),
 		}, Think: s.sampleThink(r)}
 	}
 	s.check = kvTallyCheck(s)

@@ -135,9 +135,12 @@ func TestScenarioParityKWindow(t *testing.T) {
 	}
 }
 
-// stmModes are the three runtime configurations the equivalence suite
+// stmModes are the runtime configurations the equivalence suite
 // compares: eager encounter-time locking, lazy (TL2) commit locking,
-// and lazy with the group-commit combiner.
+// lazy with the group-commit combiner, and the combiner with
+// commutative delta folding. The fold cell rides the batched one
+// (folding only exists inside the combiner); STM_FOLD=0 drops it from
+// a CI matrix cell.
 func stmModes() []struct {
 	name string
 	cfg  stm.Config
@@ -159,6 +162,14 @@ func stmModes() []struct {
 			name string
 			cfg  stm.Config
 		}{"lazy+batched", batched})
+		if os.Getenv("STM_FOLD") != "0" {
+			folded := batched
+			folded.FoldCommutative = true
+			modes = append(modes, struct {
+				name string
+				cfg  stm.Config
+			}{"lazy+batched+fold", folded})
+		}
 	}
 	return modes
 }
@@ -262,8 +273,9 @@ func TestCrossModePolicyChurn(t *testing.T) {
 	churn := []stm.Policy{
 		{Resolution: core.RequestorWins, Strategy: strategy.UniformRW{}, BackoffFactor: 1, MaxRetries: 128},
 		{Resolution: core.RequestorAborts, Strategy: strategy.ExpRA{}, KWindow: 16, BackoffFactor: 1, MaxRetries: 128},
-		{Resolution: core.RequestorWins, Hybrid: true, Strategy: strategy.Hybrid{}, KWindow: 64, CommitBatch: 4, BackoffFactor: 1, MaxRetries: 128},
+		{Resolution: core.RequestorWins, Hybrid: true, Strategy: strategy.Hybrid{}, KWindow: 64, CommitBatch: 4, FoldCommutative: true, BackoffFactor: 1, MaxRetries: 128},
 		{Resolution: core.RequestorWins, CommitBatch: 2, BackoffFactor: 2, MaxRetries: 128},
+		{Resolution: core.RequestorWins, CommitBatch: 4, FoldCommutative: true, BackoffFactor: 1, MaxRetries: 128},
 	}
 	for _, name := range scenario.Names() {
 		name := name

@@ -148,11 +148,16 @@ func newBase(opt Options, defLen dist.Sampler, wordsFn func(workers int) int) *S
 	if think == nil {
 		think = dist.Constant{V: 10}
 	}
+	delta := opt.Delta
+	if delta == 0 {
+		delta = 1
+	}
 	return &Scenario{
 		workers: workers,
 		wordsFn: wordsFn,
 		length:  length,
 		think:   think,
+		delta:   delta,
 		counts:  make([]uint64, workers),
 	}
 }
@@ -304,6 +309,12 @@ func newBimodal(opt Options) *Scenario {
 // object choice is rank-skewed (object 0 hottest) so a few words
 // absorb most conflicts, and the default compute length is
 // heavy-tailed pareto — the adversarial end of realistic workloads.
+// Unlike txapp/bimodal, the two increments are *tagged commutative*
+// deltas (OpAdd): the program never observes the counters, so the STM
+// combiner may fold colliding increments under Policy.FoldCommutative
+// instead of serializing them. Semantics and the Σ objects =
+// 2 · delta · commits invariant are identical either way (delta is
+// Options.Delta, default 1).
 func newHotspot(opt Options) *Scenario {
 	z := dist.NewZipf(objects, 1.1, 1)
 	pick := func(r *rng.Rand) (int, int) {
@@ -314,7 +325,27 @@ func newHotspot(opt Options) *Scenario {
 		}
 		return i, j
 	}
-	return newApp(opt, dist.ParetoMean(60, 2.5), pick)
+	s := newBase(opt, dist.ParetoMean(60, 2.5), func(int) int { return objects })
+	s.next = func(worker int, r *rng.Rand) Program {
+		i, j := pick(r)
+		return Program{Ops: []Op{
+			Work(s.sampleLen(r)),
+			Add(i, s.delta),
+			Add(j, s.delta),
+		}, Think: s.sampleThink(r)}
+	}
+	s.check = func(st *State) error {
+		var sum uint64
+		for w := 0; w < objects; w++ {
+			sum += st.Read(w)
+		}
+		if want := 2 * s.delta * st.Commits(); sum != want {
+			return fmt.Errorf("hotspot: object sum %d, want %d (commits %d, delta %d)",
+				sum, want, st.Commits(), s.delta)
+		}
+		return nil
+	}
+	return s
 }
 
 // newReadMostly builds the read-mostly scenario: each transaction

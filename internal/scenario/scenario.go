@@ -50,6 +50,16 @@ const (
 	// OpCompute performs Cycles units of pure compute (simulated
 	// cycles on the HTM backend, busy-work iterations on the STM).
 	OpCompute
+	// OpAdd adds the constant Imm to the word at the effective index —
+	// a *tagged commutative* delta whose result is never observed by
+	// the program. The STM backend lowers it to tx.Add, which the
+	// group-commit combiner can fold with every other delta to the
+	// same word in a batch (stm.Policy.FoldCommutative); the HTM
+	// simulator compiles it to the read-modify-write a hardware TM
+	// would execute, clobbering register Dst as scratch. Programs must
+	// treat Dst as undefined after an OpAdd (the STM side has no
+	// loaded value to put there).
+	OpAdd
 )
 
 // Op is one step of a scenario transaction. The effective word index
@@ -94,6 +104,13 @@ func StoreAt(base, reg int, mask uint64, src int, imm uint64) Op {
 // Work constructs a pure-compute step.
 func Work(cycles float64) Op {
 	return Op{Kind: OpCompute, Reg: -1, Src: -1, Cycles: cycles}
+}
+
+// Add constructs a commutative `word += imm` delta to a static word.
+// Register 7 is the HTM backend's RMW scratch and is undefined after
+// the op on both backends.
+func Add(word int, imm uint64) Op {
+	return Op{Kind: OpAdd, Word: word, Reg: -1, Dst: 7, Src: -1, Imm: imm}
 }
 
 // WordIndex resolves the op's effective word index against a register
@@ -156,6 +173,12 @@ type Options struct {
 	// Think overrides the scenario's default non-transactional
 	// think-time sampler (default: constant 10).
 	Think dist.Sampler
+	// Delta is the increment magnitude of the commutative-counter
+	// scenarios' tagged Add ops (hotspot, kvcounter; 0 = 1). The
+	// committed invariants scale with it, so any magnitude still
+	// detects lost updates — larger deltas just make a single lost
+	// fold stand out more in the sums.
+	Delta uint64
 }
 
 // Scenario is one instantiated workload: a named program generator
@@ -172,6 +195,7 @@ type Scenario struct {
 	think   dist.Sampler
 	next    func(worker int, r *rng.Rand) Program
 	check   func(st *State) error
+	delta   uint64 // Add magnitude for the commutative scenarios
 
 	counts []uint64 // per-worker transaction parity/sequence state
 }

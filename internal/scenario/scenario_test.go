@@ -135,8 +135,12 @@ func TestHotspotDistinctObjects(t *testing.T) {
 	sc, _ := ByName("hotspot", Options{Workers: 1})
 	r := rng.New(8)
 	for i := 0; i < 2000; i++ {
+		// Program shape: Work, Add(i), Add(j).
 		p := sc.Next(0, r)
-		if p.Ops[0].Word == p.Ops[1].Word {
+		if p.Ops[1].Kind != OpAdd || p.Ops[2].Kind != OpAdd {
+			t.Fatal("hotspot increments are not tagged commutative deltas")
+		}
+		if p.Ops[1].Word == p.Ops[2].Word {
 			t.Fatal("hotspot picked the same object twice")
 		}
 	}

@@ -99,6 +99,8 @@ func execProgram(tx *stm.Tx, ops []Op) {
 			regs[op.Dst&7] = tx.Load(op.WordIndex(&regs))
 		case OpWrite:
 			tx.Store(op.WordIndex(&regs), op.Value(&regs))
+		case OpAdd:
+			tx.Add(op.WordIndex(&regs), op.Imm)
 		}
 	}
 }

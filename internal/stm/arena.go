@@ -69,6 +69,30 @@
 // Transactions that exhaust MaxRetries fall back to an irrevocable
 // slow path (serialized by a token), the STM analogue of the paper's
 // lock-free fallback paths.
+//
+// # Commutative folding
+//
+// The paper's conflict model (and §9's k-chain analysis) treats every
+// write to a hot word as a conflict edge: n transactions incrementing
+// one counter serialize into a chain of length n regardless of
+// policy, because read-modify-write footprints genuinely conflict.
+// But blind increments commute — the chain is an artifact of
+// expressing "add delta" as load;store. Tx.Add records such deltas
+// separately in the descriptor footprint (no read entry, no value
+// dependency), and the group-commit combiner (batch.go, gated by
+// Policy.FoldCommutative) exploits them: when every access to a
+// contended word within a drained batch is a tagged delta, the
+// combiner applies ONE summed store and advances the stripe clock
+// once, collapsing the k-length conflict chain into a single commit
+// event. Any plain write to the same word in the same batch falls
+// back to roster-order write-back, so mixed traffic keeps exact
+// semantics. Outside the fold path (eager mode, unbatched lazy, fold
+// gate off, irrevocable blocks) Add lowers to the equivalent
+// load/store pair at record time, so the operation is always exact —
+// folding changes only how many clock advances and lock handoffs the
+// hot word pays, never what it reads afterwards. Stats.FoldedCommits
+// and Stats.FoldedWords count the folds; TxTrace.FoldedWrites
+// attributes them per block.
 package stm
 
 import (
@@ -138,6 +162,12 @@ type Config struct {
 	// setting is ignored in eager mode, whose encounter-time locks
 	// cannot be handed off at commit.
 	CommitBatch int
+	// FoldCommutative (initial Policy.FoldCommutative) lets tx.Add
+	// record blind delta-writes the group-commit combiner folds into
+	// one summed application per hot word (escrow-style counters).
+	// Requires the combiner lane (Lazy, CommitBatch > 0) to have any
+	// effect; tx.Add lowers to load+store otherwise.
+	FoldCommutative bool
 	// Shards is the number of clock stripes. 0 picks a default sized
 	// to GOMAXPROCS; 1 degenerates to the flat single-clock arena
 	// (the pre-sharding layout, kept as the ablation baseline).
@@ -202,6 +232,9 @@ func (c Config) String() string {
 	}
 	if c.Lazy && c.CommitBatch > 0 {
 		mode += fmt.Sprintf("/b%d", c.CommitBatch)
+		if c.FoldCommutative {
+			mode += "/fold"
+		}
 	}
 	return fmt.Sprintf("%v/%s/%s", c.Policy, name, mode)
 }
@@ -253,21 +286,27 @@ type Stats struct {
 	Batches      atomic.Uint64 // combiner rounds
 	BatchCommits atomic.Uint64 // write sets committed by a combiner
 	BatchFails   atomic.Uint64 // admissions failed inside a batch
+
+	// Commutative folding (Policy.FoldCommutative, batched lazy mode).
+	FoldedCommits atomic.Uint64 // admitted members whose deltas were folded
+	FoldedWords   atomic.Uint64 // hot words applied as one summed delta
 }
 
 // Snapshot returns a plain-value copy of the counters.
 func (s *Stats) Snapshot() map[string]uint64 {
 	return map[string]uint64{
-		"commits":      s.Commits.Load(),
-		"aborts":       s.Aborts.Load(),
-		"kills":        s.Kills.Load(),
-		"selfAborts":   s.SelfAborts.Load(),
-		"graceWaits":   s.GraceWaits.Load(),
-		"irrevocable":  s.Irrevocable.Load(),
-		"extensions":   s.Extensions.Load(),
-		"batches":      s.Batches.Load(),
-		"batchCommits": s.BatchCommits.Load(),
-		"batchFails":   s.BatchFails.Load(),
+		"commits":       s.Commits.Load(),
+		"aborts":        s.Aborts.Load(),
+		"kills":         s.Kills.Load(),
+		"selfAborts":    s.SelfAborts.Load(),
+		"graceWaits":    s.GraceWaits.Load(),
+		"irrevocable":   s.Irrevocable.Load(),
+		"extensions":    s.Extensions.Load(),
+		"batches":       s.Batches.Load(),
+		"batchCommits":  s.BatchCommits.Load(),
+		"batchFails":    s.BatchFails.Load(),
+		"foldedCommits": s.FoldedCommits.Load(),
+		"foldedWords":   s.FoldedWords.Load(),
 	}
 }
 
@@ -395,18 +434,19 @@ func (rt *Runtime) Shards() int { return len(rt.stripes) }
 func (rt *Runtime) Config() Config {
 	p := rt.Policy()
 	return Config{
-		Policy:         p.Resolution,
-		HybridPolicy:   p.Hybrid,
-		Strategy:       p.Strategy,
-		Lazy:           rt.lazy,
-		CommitBatch:    p.CommitBatch,
-		Shards:         len(rt.stripes),
-		UseMeanProfile: p.UseMeanProfile,
-		KWindow:        p.KWindow,
-		CleanupCost:    p.CleanupCost,
-		BackoffFactor:  p.BackoffFactor,
-		MaxRetries:     p.MaxRetries,
-		Trace:          rt.tracer,
+		Policy:          p.Resolution,
+		HybridPolicy:    p.Hybrid,
+		Strategy:        p.Strategy,
+		Lazy:            rt.lazy,
+		CommitBatch:     p.CommitBatch,
+		FoldCommutative: p.FoldCommutative,
+		Shards:          len(rt.stripes),
+		UseMeanProfile:  p.UseMeanProfile,
+		KWindow:         p.KWindow,
+		CleanupCost:     p.CleanupCost,
+		BackoffFactor:   p.BackoffFactor,
+		MaxRetries:      p.MaxRetries,
+		Trace:           rt.tracer,
 	}
 }
 

@@ -28,6 +28,17 @@
 //     ONCE for the whole batch, release the locks, and stamp every
 //     drained descriptor's outcome into its packed state word.
 //
+// Commutative folding (Policy.FoldCommutative) rides on step 3/4:
+// delta-writes recorded by tx.Add are blind — no read entry on the
+// word — so a batch of increments to one hot counter all pass
+// admission, and the combiner applies their sum with a single store
+// instead of failing everyone after the first writer. Mixed
+// delta/plain access to a word falls back to strict roster-order
+// application. This is the paper's §9 point made concrete: the
+// conflict was detected either way; resolving it by commuting instead
+// of retrying turns the worst-contention workload into the
+// best-batching one.
+//
 // A waiting member spins on its own state word until stamped; if it
 // observes the lane idle while still unstamped it claims the lane
 // itself, so a queued descriptor can always self-serve (including
@@ -90,10 +101,21 @@ func (rt *Runtime) setBatchShards(n int) {
 
 // commitLazyBatched funnels this transaction's commit through its
 // shard's combiner: claim the lane and combine, or enqueue and wait
-// for a terminal stamp. tx.writeIdx is sorted and non-empty.
+// for a terminal stamp. tx.writeIdx and tx.addIdx are sorted and at
+// least one of them is non-empty (a pure-counter transaction carries
+// only delta-writes).
 func (tx *Tx) commitLazyBatched() {
 	rt := tx.rt
-	sh := &rt.batch[tx.writeIdx[0]&rt.batchMask]
+	first := 0
+	switch {
+	case len(tx.writeIdx) == 0:
+		first = tx.addIdx[0]
+	case len(tx.addIdx) == 0 || tx.writeIdx[0] < tx.addIdx[0]:
+		first = tx.writeIdx[0]
+	default:
+		first = tx.addIdx[0]
+	}
+	sh := &rt.batch[first&rt.batchMask]
 	enqueued := false
 	spins := 0
 	for {
@@ -162,6 +184,11 @@ func batchPause(spins int) {
 func (tx *Tx) finishBatch(out uint64) {
 	switch out {
 	case statusBatchDone:
+		if tx.traced {
+			// foldedN was written by the combiner before the outcome
+			// stamp; observing the stamp ordered it.
+			tx.tr.FoldedWrites = tx.foldedN
+		}
 		return
 	case statusBatchKilled:
 		tx.abort("killed-at-commit")
@@ -254,6 +281,7 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 	locks := tx.batchLocks[:0]
 	for _, m := range members {
 		locks = append(locks, m.writeIdx...)
+		locks = append(locks, m.addIdx...)
 	}
 	sort.Ints(locks)
 	n := 0
@@ -268,7 +296,7 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 	owners := tx.batchOwners[:0]
 	for _, idx := range locks {
 		for _, m := range members {
-			if writesWord(m, idx) {
+			if writesWord(m, idx) || addsWord(m, idx) {
 				owners = append(owners, m)
 				break
 			}
@@ -329,6 +357,15 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 	// the moment the batch commits: the lost update group commit must
 	// not allow). The active→noReturn CAS then atomically loses to
 	// any kill that landed while the member was queued.
+	//
+	// Commutative folding needs no extra admission rule: a tagged
+	// delta-write (tx.Add) carries no read entry on its word, so a
+	// roster full of blind increments to one hot counter sails through
+	// both checks and every member is admitted — where the plain RMW
+	// encoding would fail everyone after the first admitted writer.
+	// Delta words still count as *writes* against later members
+	// (admittedWrites below), so a member that actually read the hot
+	// word keeps full lost-update protection.
 	outs := tx.batchOuts[:0]
 	admittedWrites := tx.batchAdmitted[:0]
 	for _, m := range members {
@@ -366,12 +403,34 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 		}
 		outs = append(outs, statusBatchDone)
 		admittedWrites = append(admittedWrites, m.writeIdx...)
+		admittedWrites = append(admittedWrites, m.addIdx...)
 	}
 	tx.batchOuts = outs
 	tx.batchAdmitted = admittedWrites
 
 	// Write back admitted members in roster order (a later-admitted
 	// writer of a shared word serializes after, so its value wins).
+	// Deltas to a word nobody plain-writes are not applied here: they
+	// accumulate into one sum and the word is updated once below —
+	// the commutativity payoff (one store per hot counter per batch).
+	// A delta to a word some admitted member plain-writes falls back
+	// to on-the-spot application, keeping strict roster order for
+	// mixed access.
+	folds := tx.batchFolds[:0]
+	sums := tx.batchSums[:0]
+	for range locks {
+		folds = append(folds, 0)
+		sums = append(sums, 0)
+	}
+	for i, m := range members {
+		if outs[i] != statusBatchDone {
+			continue
+		}
+		for _, idx := range m.writeIdx {
+			folds[wordPos(locks, idx)] = -1
+		}
+	}
+	var foldedTxs uint64
 	for i, m := range members {
 		if outs[i] != statusBatchDone {
 			continue
@@ -379,7 +438,32 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 		for _, idx := range m.writeIdx {
 			rt.words[idx].Store(m.writeVals[idx])
 		}
+		m.foldedN = 0
+		for _, idx := range m.addIdx {
+			j := wordPos(locks, idx)
+			if folds[j] < 0 {
+				w := &rt.words[idx]
+				w.Store(w.Load() + m.addVals[idx])
+				continue
+			}
+			folds[j]++
+			sums[j] += m.addVals[idx]
+			m.foldedN++
+		}
+		if m.foldedN > 0 {
+			foldedTxs++
+		}
 	}
+	var foldedWords uint64
+	for j, idx := range locks {
+		if folds[j] > 0 {
+			w := &rt.words[idx]
+			w.Store(w.Load() + sums[j])
+			foldedWords++
+		}
+	}
+	tx.batchFolds = folds
+	tx.batchSums = sums
 
 	// Release: one clock advance per *written* stripe for the whole
 	// batch — the CAS-traffic amortization this path exists for. A
@@ -429,6 +513,10 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 	}
 	rt.Stats.BatchCommits.Add(committedN)
 	rt.Stats.BatchFails.Add(failedN)
+	if foldedTxs > 0 {
+		rt.Stats.FoldedCommits.Add(foldedTxs)
+		rt.Stats.FoldedWords.Add(foldedWords)
+	}
 	completed = true
 	tx.dropBatchRefs()
 	return selfOut
@@ -488,6 +576,16 @@ func writesWord(m *Tx, idx int) bool {
 	i := sort.SearchInts(m.writeIdx, idx)
 	return i < len(m.writeIdx) && m.writeIdx[i] == idx
 }
+
+// addsWord reports whether m's (sorted) delta set contains idx.
+func addsWord(m *Tx, idx int) bool {
+	i := sort.SearchInts(m.addIdx, idx)
+	return i < len(m.addIdx) && m.addIdx[i] == idx
+}
+
+// wordPos returns idx's position in the sorted lock plan; idx must be
+// present (every write and delta word of every member is).
+func wordPos(locks []int, idx int) int { return sort.SearchInts(locks, idx) }
 
 // containsWord reports whether the sorted lock plan contains idx.
 func containsWord(locks []int, idx int) bool {

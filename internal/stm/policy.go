@@ -40,6 +40,15 @@ type Policy struct {
 	// on eager runtimes, whose encounter-time locks cannot be handed
 	// off at commit.
 	CommitBatch int
+	// FoldCommutative lets transactions record tx.Add calls as blind
+	// delta-writes for the combiner to fold (escrow-style counters):
+	// every delta to a hot word in one batch is admitted and applied
+	// as a single summed update. Off, tx.Add lowers to the ordinary
+	// load/store pair. Only meaningful while the combiner lane is
+	// open (CommitBatch > 0 on a lazy runtime); inert otherwise, but
+	// kept latched so a tuner can open the lane later without losing
+	// the setting.
+	FoldCommutative bool
 	// UseMeanProfile feeds the profiled mean committed-transaction
 	// duration to the strategy.
 	UseMeanProfile bool
@@ -99,21 +108,25 @@ func (p Policy) String() string {
 	if p.CommitBatch > 0 {
 		s += fmt.Sprintf("/b%d", p.CommitBatch)
 	}
+	if p.FoldCommutative {
+		s += "/fold"
+	}
 	return s
 }
 
 // policy extracts the dynamic half of a construction-time Config.
 func (c Config) policy() Policy {
 	return Policy{
-		Resolution:     c.Policy,
-		Hybrid:         c.HybridPolicy,
-		Strategy:       c.Strategy,
-		KWindow:        c.KWindow,
-		CommitBatch:    c.CommitBatch,
-		UseMeanProfile: c.UseMeanProfile,
-		CleanupCost:    c.CleanupCost,
-		BackoffFactor:  c.BackoffFactor,
-		MaxRetries:     c.MaxRetries,
+		Resolution:      c.Policy,
+		Hybrid:          c.HybridPolicy,
+		Strategy:        c.Strategy,
+		KWindow:         c.KWindow,
+		CommitBatch:     c.CommitBatch,
+		FoldCommutative: c.FoldCommutative,
+		UseMeanProfile:  c.UseMeanProfile,
+		CleanupCost:     c.CleanupCost,
+		BackoffFactor:   c.BackoffFactor,
+		MaxRetries:      c.MaxRetries,
 	}
 }
 

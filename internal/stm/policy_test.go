@@ -164,6 +164,137 @@ func churnPolicies() []Policy {
 	}
 }
 
+// foldChurnPolicies rotates the knobs that matter to the commutative
+// folding path: the fold gate itself, the lane open/closed, and a
+// kill-heavy requestor-aborts phase, so delta-writes recorded under
+// one policy regularly commit (or die) under another.
+func foldChurnPolicies() []Policy {
+	return []Policy{
+		{Resolution: core.RequestorWins, CommitBatch: 4, FoldCommutative: true, BackoffFactor: 1, MaxRetries: 64},
+		{Resolution: core.RequestorAborts, Strategy: strategy.ExpRA{}, CommitBatch: 4, BackoffFactor: 1, MaxRetries: 64},
+		{Resolution: core.RequestorAborts, Strategy: strategy.ExpRA{}, CommitBatch: 8, FoldCommutative: true, KWindow: 16, BackoffFactor: 1, MaxRetries: 64},
+		{Resolution: core.RequestorWins, Strategy: strategy.UniformRW{}, BackoffFactor: 1, MaxRetries: 64},
+		{Resolution: core.RequestorWins, CommitBatch: 2, FoldCommutative: true, BackoffFactor: 1, MaxRetries: 64},
+	}
+}
+
+// TestFoldPolicyChurn is the kill-heavy stress proof for commutative
+// folding: workers hammer the SAME hot words with a mix of tx.Add
+// delta-writes and plain load/store increments while a churner flips
+// FoldCommutative (and the lane, and the kill policy) mid-run. The
+// invariant is exact, not statistical: each hot word must equal the
+// total committed increments targeting it, whether those increments
+// were folded by the combiner, written back in roster order, or
+// lowered to plain writes because the latched policy had folding off.
+// Run under -race this is also the data-race proof for the fold path.
+func TestFoldPolicyChurn(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"eager", func() Config { return DefaultConfig() }},
+		{"lazy", func() Config { c := DefaultConfig(); c.Lazy = true; return c }},
+		{"lazy+batched", func() Config {
+			c := DefaultConfig()
+			c.Lazy = true
+			c.CommitBatch = 4
+			c.FoldCommutative = true
+			return c
+		}},
+	}
+	const workers = 4
+	dur := 150 * time.Millisecond
+	if testing.Short() {
+		dur = 40 * time.Millisecond
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := mode.cfg()
+			cfg.CleanupCost = time.Microsecond
+			cfg.MaxRetries = 256
+			rt := New(2+workers, cfg)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pols := foldChurnPolicies()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rt.SetPolicy(pols[i%len(pols)])
+					time.Sleep(20 * time.Microsecond)
+				}
+			}()
+
+			// Every committed transaction increments BOTH hot words
+			// exactly once — one via Add, one via a plain
+			// read-modify-write — with the roles swapped on odd rounds
+			// so each word sees both access kinds from every worker
+			// (the combiner's mixed delta/plain fallback path).
+			counts := make([]uint64, workers)
+			root := rng.New(31)
+			for w := 0; w < workers; w++ {
+				w := w
+				r := root.Split()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						addWord, storeWord := 0, 1
+						if i%2 == 1 {
+							addWord, storeWord = 1, 0
+						}
+						err := rt.AtomicWorker(w, r, func(tx *Tx) error {
+							tx.Add(addWord, 1)
+							tx.Store(storeWord, tx.Load(storeWord)+1)
+							tx.Add(2+w, 1) // private word, delta-only
+							return nil
+						})
+						if err != nil {
+							panic(fmt.Sprintf("worker %d: %v", w, err))
+						}
+						counts[w]++
+					}
+				}()
+			}
+			time.Sleep(dur)
+			close(stop)
+			wg.Wait()
+
+			var total uint64
+			for w := 0; w < workers; w++ {
+				total += counts[w]
+				if got := rt.ReadCommitted(2 + w); got != counts[w] {
+					t.Errorf("worker %d private word = %d, committed %d transactions", w, got, counts[w])
+				}
+			}
+			for word := 0; word <= 1; word++ {
+				if got := rt.ReadCommitted(word); got != total {
+					t.Errorf("hot word %d = %d, want %d committed increments", word, got, total)
+				}
+			}
+			if total == 0 {
+				t.Fatal("no transactions committed under churn")
+			}
+			if rt.PolicySwaps() == 0 {
+				t.Fatal("churner never swapped")
+			}
+			t.Logf("%s: %d commits, %d folded, under %d policy swaps",
+				mode.name, total, rt.Stats.FoldedCommits.Load(), rt.PolicySwaps())
+		})
+	}
+}
+
 // TestSetPolicyChurn hammers one contended arena with worker
 // goroutines while another goroutine swaps the policy as fast as it
 // can, across all three commit modes. The committed state must stay

@@ -31,6 +31,10 @@ type TxTrace struct {
 	KillsSuffered, KillsIssued int
 	// Committed distinguishes a commit from a user-level abort.
 	Committed bool
+	// FoldedWrites counts this block's delta-writes (tx.Add) that the
+	// group-commit combiner folded into summed hot-word applications
+	// (0 for unbatched commits and demoted deltas).
+	FoldedWrites int
 	// Irrevocable reports that the block fell back to the serialized
 	// slow path before finishing.
 	Irrevocable bool
@@ -70,6 +74,11 @@ func (tx *Tx) captureFootprint() {
 	tx.tr.Writes = tx.tr.Writes[:0]
 	if tx.rt.lazy {
 		for _, idx := range tx.writeIdx {
+			tx.tr.Writes = append(tx.tr.Writes, uint32(idx))
+		}
+		// Pending delta-writes are writes too (blind ones: they never
+		// appear in the read log, so the dedup below is unaffected).
+		for _, idx := range tx.addIdx {
 			tx.tr.Writes = append(tx.tr.Writes, uint32(idx))
 		}
 	} else {

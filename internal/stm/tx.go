@@ -86,6 +86,16 @@ type Tx struct {
 	// Lazy mode: buffered write set.
 	writeIdx  []int
 	writeVals map[int]uint64
+	// Commutative delta-writes (tx.Add under Policy.FoldCommutative
+	// with the combiner lane open): blind `word += delta` intents with
+	// no read entry, kept apart from the plain write set so the
+	// combiner can fold them. addVals is allocated on first use and
+	// reused across pooled descriptors. foldedN is written by the
+	// combiner (before the outcome stamp, which orders it) with the
+	// number of this member's deltas that were folded.
+	addIdx  []int
+	addVals map[int]uint64
+	foldedN int
 	// Eager mode: in-place writes with undo log.
 	undo []undoEntry
 
@@ -104,6 +114,8 @@ type Tx struct {
 	batchVers     []uint64
 	batchOuts     []uint64
 	batchAdmitted []int
+	batchFolds    []int    // per lock word: -1 plain-written, else delta count
+	batchSums     []uint64 // per lock word: folded delta sum
 }
 
 // epoch returns the current attempt epoch.
@@ -192,6 +204,11 @@ func (tx *Tx) reset() {
 	if tx.writeVals != nil {
 		clear(tx.writeVals)
 	}
+	tx.addIdx = tx.addIdx[:0]
+	if tx.addVals != nil {
+		clear(tx.addVals)
+	}
+	tx.foldedN = 0
 	tx.undo = tx.undo[:0]
 	tx.lockedUpTo = 0
 }
@@ -365,7 +382,41 @@ func (tx *Tx) Load(idx int) uint64 {
 			continue // raced with a writer; retry the read
 		}
 		tx.reads = append(tx.reads, readEntry{idx: idx, ver: l1 >> 1})
+		if len(tx.addIdx) > 0 {
+			v = tx.foldPendingDelta(idx, v)
+		}
 		return v
+	}
+}
+
+// foldPendingDelta lowers a pending delta on idx into a plain
+// buffered write once the word has been read: the transaction is no
+// longer blind on the word, so the delta loses its commutative status
+// and rejoins the ordinary read+store footprint (the read entry was
+// just recorded by Load).
+func (tx *Tx) foldPendingDelta(idx int, v uint64) uint64 {
+	d, ok := tx.addVals[idx]
+	if !ok {
+		return v
+	}
+	delete(tx.addVals, idx)
+	tx.dropAddIdx(idx)
+	v += d
+	if _, ok := tx.writeVals[idx]; !ok {
+		tx.writeIdx = append(tx.writeIdx, idx)
+	}
+	tx.writeVals[idx] = v
+	return v
+}
+
+// dropAddIdx removes idx from the (unsorted) delta index list.
+func (tx *Tx) dropAddIdx(idx int) {
+	for i, w := range tx.addIdx {
+		if w == idx {
+			tx.addIdx[i] = tx.addIdx[len(tx.addIdx)-1]
+			tx.addIdx = tx.addIdx[:len(tx.addIdx)-1]
+			return
+		}
 	}
 }
 
@@ -375,6 +426,15 @@ func (tx *Tx) Store(idx int, val uint64) {
 	if tx.rt.lazy {
 		if _, ok := tx.writeVals[idx]; !ok {
 			tx.writeIdx = append(tx.writeIdx, idx)
+			if len(tx.addIdx) > 0 {
+				// A plain write overwrites whatever the word held, so
+				// a pending delta on it is dead: x += d; x = v ends at
+				// v regardless of d.
+				if _, ok := tx.addVals[idx]; ok {
+					delete(tx.addVals, idx)
+					tx.dropAddIdx(idx)
+				}
+			}
 		}
 		tx.writeVals[idx] = val
 		return
@@ -385,6 +445,40 @@ func (tx *Tx) Store(idx int, val uint64) {
 		tx.acquire(idx)
 	}
 	tx.rt.words[idx].Store(val)
+}
+
+// Add applies `word idx += delta` transactionally. Its contract is
+// exactly Store(idx, Load(idx)+delta) — and that is literally how it
+// executes on eager runtimes, with the lazy combiner lane closed, on
+// the irrevocable slow path, or while Policy.FoldCommutative is off.
+// When the attempt's latched policy has folding enabled and the
+// commit is headed for the group-commit combiner, the delta is
+// instead recorded blind: no read entry, no buffered value, just a
+// commutative `+= delta` intent the combiner folds with every other
+// delta to the same word in the batch (see batch.go). A subsequent
+// Load or Store of the same word inside the transaction demotes the
+// delta back to the ordinary read/write footprint, so mixed access
+// keeps plain sequential semantics.
+func (tx *Tx) Add(idx int, delta uint64) {
+	tx.checkKilled()
+	if !tx.rt.lazy || tx.rt.batch == nil || tx.pol.CommitBatch == 0 ||
+		!tx.pol.FoldCommutative || tx.irrevocable.Load() {
+		tx.Store(idx, tx.Load(idx)+delta)
+		return
+	}
+	if _, ok := tx.writeVals[idx]; ok {
+		// The word's post-transaction value is already decided by a
+		// buffered plain write; fold the delta into it.
+		tx.writeVals[idx] += delta
+		return
+	}
+	if tx.addVals == nil {
+		tx.addVals = make(map[int]uint64, 4)
+	}
+	if _, ok := tx.addVals[idx]; !ok {
+		tx.addIdx = append(tx.addIdx, idx)
+	}
+	tx.addVals[idx] += delta
 }
 
 // acquire takes the encounter lock on idx (eager mode), logging the
@@ -485,7 +579,16 @@ func (tx *Tx) commitEager() {
 }
 
 func (tx *Tx) commitLazy() {
-	if len(tx.writeIdx) == 0 {
+	batched := tx.pol.CommitBatch > 0 && tx.rt.batch != nil && !tx.irrevocable.Load()
+	if len(tx.addIdx) > 0 && !batched {
+		// Deltas are only recorded when the attempt was headed for
+		// the combiner under the same latched policy, so this lowering
+		// is defensive; it keeps the direct path correct if that
+		// invariant ever loosens. Load/Store may abort here, which is
+		// fine — no locks are held yet.
+		tx.lowerDeltas()
+	}
+	if len(tx.writeIdx) == 0 && len(tx.addIdx) == 0 {
 		tx.checkKilled()
 		return
 	}
@@ -499,7 +602,8 @@ func (tx *Tx) commitLazy() {
 	// transactions stay on the direct path — they are already
 	// serialized by the fallback token and must not wait on (or be
 	// failed by) a combiner.
-	if tx.pol.CommitBatch > 0 && tx.rt.batch != nil && !tx.irrevocable.Load() {
+	if batched {
+		sort.Ints(tx.addIdx)
 		tx.commitLazyBatched()
 		return
 	}
@@ -520,6 +624,17 @@ func (tx *Tx) commitLazy() {
 	}
 	tx.lockedUpTo = 0
 	clear(tx.wvs)
+}
+
+// lowerDeltas demotes every pending delta to the ordinary read+store
+// footprint. Load folds the pending delta on the word it reads (see
+// foldPendingDelta) and removes it from addIdx, so draining the list
+// head converges; each fold records a real read entry, restoring
+// exactly the unbatched semantics of tx.Add.
+func (tx *Tx) lowerDeltas() {
+	for len(tx.addIdx) > 0 {
+		tx.Load(tx.addIdx[0])
+	}
 }
 
 // lockCommit acquires a commit lock (lazy mode).

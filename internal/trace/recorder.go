@@ -71,6 +71,7 @@ func (rec *Recorder) TraceTx(t *stm.TxTrace) {
 		KillsIssued:   uint32(t.KillsIssued),
 		Committed:     t.Committed,
 		Irrevocable:   t.Irrevocable,
+		FoldedWrites:  uint32(t.FoldedWrites),
 	}
 	if len(t.Reads) > 0 {
 		r.Reads = append(make([]uint32, 0, len(t.Reads)), t.Reads...)

@@ -65,6 +65,12 @@ type Record struct {
 	// attempt's footprint.
 	Reads  []uint32 `json:"rs,omitempty"`
 	Writes []uint32 `json:"ws,omitempty"`
+	// FoldedWrites counts the block's delta-writes (stm.Tx.Add) that
+	// the group-commit combiner folded into summed stores instead of
+	// writing back individually. Zero (and absent from the JSONL) for
+	// blocks committed outside the fold path, and in every file
+	// written before the field existed.
+	FoldedWrites uint32 `json:"fw,omitempty"`
 }
 
 // Header identifies a trace: provenance (scenario, worker count,

@@ -20,6 +20,7 @@ type PerfCell struct {
 	Commits    uint64  `json:"commits"`
 	Aborts     uint64  `json:"aborts"`
 	Batches    uint64  `json:"batches,omitempty"`
+	Folded     uint64  `json:"foldedCommits,omitempty"`
 }
 
 // PerfReport is the BENCH_txkv.json payload — the serving stack's
@@ -49,23 +50,31 @@ type PerfConfig struct {
 	Seed uint64
 }
 
-// perfModes returns the three commit paths the matrix compares.
+// perfModes returns the commit paths the matrix compares: the three
+// classic modes plus the folded cell — lazy+batch with commutative
+// folding on, over an escrow-counter store, so Add traffic commits
+// as summed deltas instead of colliding read-modify-writes.
 func perfModes(commitBatch int) []struct {
-	name string
-	cfg  stm.Config
+	name   string
+	cfg    stm.Config
+	escrow bool
 } {
 	eager := stm.DefaultConfig()
 	lazy := eager
 	lazy.Lazy = true
 	batched := lazy
 	batched.CommitBatch = commitBatch
+	folded := batched
+	folded.FoldCommutative = true
 	return []struct {
-		name string
-		cfg  stm.Config
+		name   string
+		cfg    stm.Config
+		escrow bool
 	}{
-		{"eager", eager},
-		{"lazy", lazy},
-		{fmt.Sprintf("lazy+batch%d", commitBatch), batched},
+		{"eager", eager, false},
+		{"lazy", lazy, false},
+		{fmt.Sprintf("lazy+batch%d", commitBatch), batched, false},
+		{fmt.Sprintf("lazy+batch%d+fold", commitBatch), folded, true},
 	}
 }
 
@@ -102,7 +111,7 @@ func Perf(cfg PerfConfig) (*PerfReport, error) {
 					return nil, err
 				}
 				runtime.GOMAXPROCS(procs)
-				s := w.NewStore(Config{STM: mode.cfg})
+				s := w.NewStore(Config{STM: mode.cfg, EscrowCounters: mode.escrow})
 				res, err := w.RunLocal(s, GenConfig{
 					Users:    procs,
 					Batch:    rep.Batch,
@@ -124,6 +133,7 @@ func Perf(cfg PerfConfig) (*PerfReport, error) {
 					Commits:    snap["commits"],
 					Aborts:     snap["aborts"],
 					Batches:    snap["batches"],
+					Folded:     snap["foldedCommits"],
 				})
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"txconflict/internal/rng"
+	"txconflict/internal/stm"
 )
 
 // TestWorkloadInvariants is the txkv cross-mode invariant matrix,
@@ -110,6 +111,117 @@ func TestConcurrentMixedOps(t *testing.T) {
 	}
 }
 
+// TestEscrowAddFolds drives pure Add traffic on a handful of hot
+// keys through an escrow store on the folded batch path and holds
+// the no-lost-updates invariant: the committed counter sum must
+// equal the adds applied, even though every increment on an existing
+// key committed as a blind delta the combiner may have folded. The
+// structural checks run under the key-class discipline.
+func TestEscrowAddFolds(t *testing.T) {
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = true
+	cfg.CommitBatch = 4
+	cfg.FoldCommutative = true
+	s := New(Config{Capacity: 64, IndexClasses: 8, EscrowCounters: true, STM: cfg})
+	const users, addsPer, hotKeys = 4, 3000, 4
+	done := make(chan error, users)
+	for u := 0; u < users; u++ {
+		u := u
+		go func() {
+			r := rng.New(uint64(200 + u))
+			for i := 0; i < addsPer; i++ {
+				if _, err := s.Add(u, r, uint64(r.Intn(hotKeys)), 1); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for u := 0; u < users; u++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum uint64
+	s.Range(func(_, val uint64) { sum += val })
+	if want := uint64(users * addsPer); sum != want {
+		t.Fatalf("committed counter sum %d, want %d adds", sum, want)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every post-insert Add records a delta, and the combiner folds
+	// deltas even in singleton batches — so the fold ledger must move.
+	if got := s.Runtime().Stats.FoldedCommits.Load(); got == 0 {
+		t.Fatal("no folded commits on the escrow Add path")
+	}
+}
+
+// TestEscrowMixedOps reruns the adversarial op mix on an escrow
+// store across all three commit paths (plus folding on the batched
+// one): deletes and puts race blind Adds on overlapping keys, so the
+// key-classed index and the combiner's mixed delta/plain fallback
+// both get exercised. Structural invariants must hold throughout.
+func TestEscrowMixedOps(t *testing.T) {
+	for _, m := range modes() {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := m.cfg
+			if cfg.CommitBatch > 0 {
+				cfg.FoldCommutative = true
+			}
+			s := New(Config{Capacity: 256, IndexClasses: 8, EscrowCounters: true, STM: cfg})
+			const users = 4
+			d := 50 * time.Millisecond
+			if testing.Short() {
+				d = 20 * time.Millisecond
+			}
+			done := make(chan error, users)
+			stop := make(chan struct{})
+			for u := 0; u < users; u++ {
+				u := u
+				go func() {
+					r := rng.New(uint64(300 + u))
+					for {
+						select {
+						case <-stop:
+							done <- nil
+							return
+						default:
+						}
+						key := uint64(r.Intn(32))
+						var err error
+						switch r.Intn(4) {
+						case 0:
+							err = s.Put(u, r, key, r.Uint64()&0xff)
+						case 1:
+							_, _, err = s.Get(u, r, key)
+						case 2:
+							_, err = s.Delete(u, r, key)
+						default:
+							_, err = s.Add(u, r, key, 1)
+						}
+						if err != nil {
+							done <- err
+							return
+						}
+					}
+				}()
+			}
+			time.Sleep(d)
+			close(stop)
+			for u := 0; u < users; u++ {
+				if err := <-done; err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestPerfSmoke keeps the BENCH_txkv.json emitter honest: a minimal
 // matrix must produce verified cells for every workload x mode pair.
 func TestPerfSmoke(t *testing.T) {
@@ -124,7 +236,7 @@ func TestPerfSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(Names()) * 3 * 2 // workloads x modes x procs
+	want := len(Names()) * 4 * 2 // workloads x modes x procs
 	if len(rep.Cells) != want {
 		t.Fatalf("perf matrix has %d cells, want %d", len(rep.Cells), want)
 	}
@@ -144,5 +256,8 @@ func TestPerfModeLabels(t *testing.T) {
 	}
 	if !ms[2].cfg.Lazy || ms[2].cfg.CommitBatch != 4 {
 		t.Fatalf("lazy+batch4 config: %+v", ms[2].cfg)
+	}
+	if ms[3].name != "lazy+batch4+fold" || !ms[3].cfg.FoldCommutative || !ms[3].escrow {
+		t.Fatalf("folded mode: %q %+v escrow=%v", ms[3].name, ms[3].cfg, ms[3].escrow)
 	}
 }

@@ -196,7 +196,10 @@ type policyRequest struct {
 	KWindow     *int    `json:"kWindow"`
 	CommitBatch *int    `json:"commitBatch"`
 	MaxRetries  *int    `json:"maxRetries"`
-	Resume      bool    `json:"resume"`
+	// FoldCommutative flips the combiner's commutative-delta folding
+	// (effective on the batched lazy path; see stm.Policy).
+	FoldCommutative *bool `json:"foldCommutative"`
+	Resume          bool  `json:"resume"`
 }
 
 // policyView renders the control plane: the tuner's view when one is
@@ -271,6 +274,9 @@ func (sv *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.MaxRetries != nil {
 			p.MaxRetries = *req.MaxRetries
+		}
+		if req.FoldCommutative != nil {
+			p.FoldCommutative = *req.FoldCommutative
 		}
 		if sv.tuner != nil {
 			sv.tuner.Override(p)

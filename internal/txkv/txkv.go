@@ -37,6 +37,18 @@
 // CheckInvariants detects, where a commutative aggregate would
 // silently re-add up. This is the serving-stack analogue of the
 // scenario invariants.
+//
+// # Escrow counters
+//
+// Config.EscrowCounters switches the index to *key* classes
+// (key & (classes-1)): a live bucket's class is then immutable, so
+// value updates never touch the chains and Add can record its
+// increment on the value word as a blind commutative delta (tx.Add)
+// that the group-commit combiner folds under
+// stm.Policy.FoldCommutative — colliding hot-counter bumps stop
+// aborting each other. The trade: the index no longer trips on a
+// torn value (only on torn structure), and a blind Add cannot report
+// the new value. See internal/stm for the folding semantics.
 package txkv
 
 import (
@@ -69,6 +81,13 @@ type Config struct {
 	// two, default 16); striping keeps inserts from serializing on a
 	// single counter word.
 	SizeStripes int
+	// EscrowCounters classes the secondary index by key instead of by
+	// value (see the package comment): value updates stop relinking,
+	// and Add on an existing key becomes a blind commutative delta
+	// the STM combiner can fold (stm.Policy.FoldCommutative). In this
+	// mode Add returns 0 for blind increments — callers that need the
+	// post-increment value must Get it in a separate transaction.
+	EscrowCounters bool
 	// STM configures the underlying runtime (conflict policy, lazy
 	// vs eager locking, CommitBatch, shards, tracing...).
 	STM stm.Config
@@ -84,6 +103,7 @@ type Store struct {
 	mask    uint64
 	classes int
 	stripes int
+	escrow  bool // key-classed index; Add records blind deltas
 }
 
 // New builds a store and its STM arena.
@@ -96,6 +116,7 @@ func New(cfg Config) *Store {
 		mask:    uint64(c - 1),
 		classes: classes,
 		stripes: stripes,
+		escrow:  cfg.EscrowCounters,
 	}
 	s.rt = stm.New(3*c+classes+stripes, cfg.STM)
 	return s
@@ -121,6 +142,16 @@ func (s *Store) sizeWord(st int) int { return 3*s.cap + s.classes + st }
 
 // class maps a value to its secondary-index class.
 func (s *Store) class(val uint64) int { return int(val) & (s.classes - 1) }
+
+// bucketClass maps a bucket holding (key, val) to its index class:
+// the value class normally, the key class in escrow mode — immutable
+// for a live bucket, which is what lets value updates skip the chains.
+func (s *Store) bucketClass(key, val uint64) int {
+	if s.escrow {
+		return int(key) & (s.classes - 1)
+	}
+	return s.class(val)
+}
 
 // hash is the splitmix64 finalizer — full-avalanche, so sequential
 // user keys spread across buckets (and size stripes).
@@ -167,20 +198,20 @@ func (s *Store) probe(tx *stm.Tx, key uint64) (bucket int, found bool, free int)
 	return 0, false, free
 }
 
-// indexPush links bucket b (holding a key whose value is val) at the
-// head of its class chain.
-func (s *Store) indexPush(tx *stm.Tx, b int, val uint64) {
-	c := s.class(val)
+// indexPush links bucket b (holding key with value val) at the head
+// of its class chain.
+func (s *Store) indexPush(tx *stm.Tx, b int, key, val uint64) {
+	c := s.bucketClass(key, val)
 	tx.Store(s.linkWord(b), tx.Load(s.headWord(c)))
 	tx.Store(s.headWord(c), uint64(b)+1)
 }
 
-// indexUnlink removes bucket b from the class chain of val (the
-// value it was indexed under). The chain must contain b — a miss
-// means the index lost an insert, which the transaction turns into
-// a panic rather than silent corruption.
-func (s *Store) indexUnlink(tx *stm.Tx, b int, val uint64) {
-	c := s.class(val)
+// indexUnlink removes bucket b from the chain of the class it was
+// indexed under (key's class in escrow mode, val's otherwise). The
+// chain must contain b — a miss means the index lost an insert, which
+// the transaction turns into a panic rather than silent corruption.
+func (s *Store) indexUnlink(tx *stm.Tx, b int, key, val uint64) {
+	c := s.bucketClass(key, val)
 	cur := tx.Load(s.headWord(c))
 	if cur == uint64(b)+1 {
 		tx.Store(s.headWord(c), tx.Load(s.linkWord(b)))
@@ -214,9 +245,9 @@ func (s *Store) put(tx *stm.Tx, key, val uint64) error {
 	b, found, free := s.probe(tx, key)
 	if found {
 		old := tx.Load(s.valWord(b))
-		if s.class(old) != s.class(val) {
-			s.indexUnlink(tx, b, old)
-			s.indexPush(tx, b, val)
+		if s.bucketClass(key, old) != s.bucketClass(key, val) {
+			s.indexUnlink(tx, b, key, old)
+			s.indexPush(tx, b, key, val)
 		}
 		tx.Store(s.valWord(b), val)
 		return nil
@@ -226,7 +257,7 @@ func (s *Store) put(tx *stm.Tx, key, val uint64) error {
 	}
 	tx.Store(s.keyWord(free), key+1)
 	tx.Store(s.valWord(free), val)
-	s.indexPush(tx, free, val)
+	s.indexPush(tx, free, key, val)
 	st := s.sizeWord(int(hash(key)) & (s.stripes - 1))
 	tx.Store(st, tx.Load(st)+1)
 	return nil
@@ -247,7 +278,7 @@ func (s *Store) del(tx *stm.Tx, key uint64) bool {
 	if !found {
 		return false
 	}
-	s.indexUnlink(tx, b, tx.Load(s.valWord(b)))
+	s.indexUnlink(tx, b, key, tx.Load(s.valWord(b)))
 	tx.Store(s.keyWord(b), tombstone)
 	tx.Store(s.valWord(b), 0)
 	st := s.sizeWord(int(hash(key)) & (s.stripes - 1))
@@ -294,15 +325,43 @@ func (s *Store) Delete(worker int, r *rng.Rand, key uint64) (deleted bool, err e
 // Add atomically increments key's value by delta, inserting delta
 // when the key is absent (the counter type: a keyed read-modify-write
 // whose conflicts land on the value word and, when the class
-// changes, on the index chains). It returns the new value.
+// changes, on the index chains). It returns the new value — except in
+// escrow mode (Config.EscrowCounters), where an increment of an
+// existing key is recorded blind via tx.Add so the batch combiner can
+// fold it: the transaction never learns the value, and Add returns 0
+// (inserts still return delta).
 func (s *Store) Add(worker int, r *rng.Rand, key, delta uint64) (newVal uint64, err error) {
 	if err := checkKey(key); err != nil {
 		return 0, err
 	}
+	if !s.escrow {
+		err = s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
+			old, _ := s.get(tx, key)
+			newVal = old + delta
+			return s.put(tx, key, newVal)
+		})
+		return newVal, err
+	}
 	err = s.rt.AtomicWorker(worker, r, func(tx *stm.Tx) error {
-		old, _ := s.get(tx, key)
-		newVal = old + delta
-		return s.put(tx, key, newVal)
+		newVal = 0 // the closure re-runs on abort
+		b, found, free := s.probe(tx, key)
+		if found {
+			// The probe path read the key words (validated as usual),
+			// but the value word carries only a delta: no read entry,
+			// so colliding increments on a hot counter commute.
+			tx.Add(s.valWord(b), delta)
+			return nil
+		}
+		if free < 0 {
+			return ErrFull
+		}
+		newVal = delta
+		tx.Store(s.keyWord(free), key+1)
+		tx.Store(s.valWord(free), delta)
+		s.indexPush(tx, free, key, delta)
+		st := s.sizeWord(int(hash(key)) & (s.stripes - 1))
+		tx.Store(st, tx.Load(st)+1)
+		return nil
 	})
 	return newVal, err
 }
@@ -371,7 +430,8 @@ func (s *Store) Range(fn func(key, val uint64)) {
 //  2. reachability: every live bucket hangs off exactly one index
 //     chain, and the chains contain nothing else (no orphans, no
 //     double links, no cycles);
-//  3. class consistency: a bucket in class c holds a value of class c;
+//  3. class consistency: a bucket in class c holds a value (a key, in
+//     escrow mode) of class c;
 //  4. probe integrity: every live key is found by its own probe path.
 //
 // Any violation is a serializability bug in the runtime (or a txkv
@@ -411,9 +471,9 @@ func (s *Store) CheckInvariants() error {
 				return fmt.Errorf("txkv: index class %d links dead bucket %d", c, b)
 			}
 			val := s.rt.ReadCommitted(s.valWord(b))
-			if s.class(val) != c {
-				return fmt.Errorf("txkv: bucket %d (value %d, class %d) linked under class %d",
-					b, val, s.class(val), c)
+			if got := s.bucketClass(kw-1, val); got != c {
+				return fmt.Errorf("txkv: bucket %d (key %d, value %d, class %d) linked under class %d",
+					b, kw-1, val, got, c)
 			}
 			cur = s.rt.ReadCommitted(s.linkWord(b))
 		}

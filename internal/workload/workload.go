@@ -62,12 +62,13 @@ func (w *HTM) Name() string { return w.sc.Name() }
 func (w *HTM) EnsureWorkers(n int) { w.sc.EnsureWorkers(n) }
 
 // NextTx implements htm.Workload: one scenario program compiled to
-// simulator ops.
+// simulator ops. OpAdd expands to two simulator ops, so the compiled
+// sequence can be longer than the program.
 func (w *HTM) NextTx(coreID int, r *rng.Rand) htm.Tx {
 	p := w.sc.Next(coreID, r)
-	ops := make([]htm.Op, len(p.Ops))
-	for i, op := range p.Ops {
-		ops[i] = compileOp(op)
+	ops := make([]htm.Op, 0, len(p.Ops))
+	for _, op := range p.Ops {
+		ops = compileOp(ops, op)
 	}
 	return htm.Tx{Ops: ops, ThinkTime: sim.Time(p.Think)}
 }
@@ -83,26 +84,30 @@ func (w *HTM) Check(read func(byteAddr uint64) uint64, perCoreCommits []uint64) 
 	return w.sc.Check(st)
 }
 
-// compileOp lowers one scenario op to a simulator op: static word
-// indices become line addresses, and register-indirect indices are
-// scaled by the word size (registers hold word indices on both
-// backends). Mask and shift are harmlessly carried on static ops too
-// — EffectiveAddr ignores them when AddrReg < 0.
-func compileOp(op scenario.Op) htm.Op {
+// compileOp lowers one scenario op onto the simulator op sequence:
+// static word indices become line addresses, and register-indirect
+// indices are scaled by the word size (registers hold word indices on
+// both backends). Mask and shift are harmlessly carried on static ops
+// too — EffectiveAddr ignores them when AddrReg < 0. A commutative
+// OpAdd expands to the read-modify-write a hardware TM executes
+// anyway — read the word into the scratch register Dst, store back
+// Dst + Imm — since the simulator has no combiner to fold deltas
+// into; the STM side is where the tag pays off.
+func compileOp(ops []htm.Op, op scenario.Op) []htm.Op {
 	switch op.Kind {
 	case scenario.OpCompute:
-		return htm.Compute(sim.Time(op.Cycles))
+		return append(ops, htm.Compute(sim.Time(op.Cycles)))
 	case scenario.OpRead:
-		return htm.Op{
+		return append(ops, htm.Op{
 			Kind:      htm.OpRead,
 			Addr:      uint64(op.Word) * wordBytes,
 			AddrReg:   op.Reg,
 			AddrMask:  op.Mask,
 			AddrShift: wordShift,
 			Dst:       op.Dst,
-		}
+		})
 	case scenario.OpWrite:
-		return htm.Op{
+		return append(ops, htm.Op{
 			Kind:      htm.OpWrite,
 			Addr:      uint64(op.Word) * wordBytes,
 			AddrReg:   op.Reg,
@@ -110,7 +115,27 @@ func compileOp(op scenario.Op) htm.Op {
 			AddrShift: wordShift,
 			SrcReg:    op.Src,
 			Imm:       op.Imm,
-		}
+		})
+	case scenario.OpAdd:
+		addr := uint64(op.Word) * wordBytes
+		return append(ops,
+			htm.Op{
+				Kind:      htm.OpRead,
+				Addr:      addr,
+				AddrReg:   op.Reg,
+				AddrMask:  op.Mask,
+				AddrShift: wordShift,
+				Dst:       op.Dst,
+			},
+			htm.Op{
+				Kind:      htm.OpWrite,
+				Addr:      addr,
+				AddrReg:   op.Reg,
+				AddrMask:  op.Mask,
+				AddrShift: wordShift,
+				SrcReg:    op.Dst,
+				Imm:       op.Imm,
+			})
 	default:
 		panic(fmt.Sprintf("workload: unknown scenario op kind %d", op.Kind))
 	}

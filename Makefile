@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short race-adaptive scenario-parity smoke-txkv bench bench-stm bench-adaptive bench-batch bench-fold bench-fleet bench-txkv trace-demo fuzz-trace tidy
+.PHONY: all build vet test race-short race-adaptive scenario-parity smoke-txkv smoke-txkvd bench bench-stm bench-adaptive bench-batch bench-fold bench-fleet bench-txkv bench-latency trace-demo fuzz-trace tidy
 
 all: build vet test
 
@@ -53,6 +53,15 @@ scenario-parity:
 smoke-txkv:
 	$(GO) test -race -count=1 -run 'TestTxkvdSmoke|TestServerEndpoints' ./internal/txkv/
 
+# Observability-plane smoke under the race detector: drive live
+# traffic through a metrics-enabled server, scrape GET /metrics, and
+# parse the exposition back — fails on malformed 0.0.4 text, a
+# missing metric family, or a missing abort-reason series; then the
+# churn cell races concurrent scrapes against live traffic and
+# SetPolicy swaps.
+smoke-txkvd:
+	$(GO) test -race -count=1 -run 'TestMetricsExposition|TestMetricsScrapeChurn' ./internal/txkv/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -99,6 +108,14 @@ bench-fleet:
 # lazy / lazy+batch4) at GOMAXPROCS 1/4/8. CI runs this as a
 # non-blocking step and uploads the snapshot.
 bench-txkv:
+	$(GO) run ./cmd/txkvd -perf -out BENCH_txkv.json
+
+# Latency-focused snapshots: the same two perf trajectories, which
+# now carry commit-latency p50/p99 columns (p50Ns/p99Ns) in every
+# cell, read from each cell's own metrics plane. CI runs this as a
+# non-blocking step so the tail history records alongside throughput.
+bench-latency:
+	$(GO) run ./cmd/stmbench -perf -out BENCH_stm.json
 	$(GO) run ./cmd/txkvd -perf -out BENCH_txkv.json
 
 # The Section 1 profile-to-simulation loop, end to end: record a

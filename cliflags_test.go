@@ -81,6 +81,15 @@ func TestCmdFlagValidation(t *testing.T) {
 			"txkvd: -fold requires -batch > 0", ""},
 		{"stmbench zero delta", "stmbench", []string{"-scenario", "hotspot", "-delta", "0"},
 			"stmbench: -delta must be > 0 (got 0)", ""},
+		// Observability knobs: the phase-timer sampling interval must be
+		// positive, and -pprof only means anything when there is an HTTP
+		// mux to mount the handlers on.
+		{"txkvd zero metrics-sample", "txkvd", []string{"-metrics-sample", "0"},
+			"txkvd: -metrics-sample must be > 0 (got 0)", ""},
+		{"stmbench zero metrics-sample", "stmbench", []string{"-scenario", "hotspot", "-metrics-sample", "0"},
+			"stmbench: -metrics-sample must be > 0 (got 0)", ""},
+		{"txkvd pprof without serve", "txkvd", []string{"-bench", "-pprof"},
+			"txkvd: -pprof requires serve mode", ""},
 		{"txsim zero delta", "txsim", []string{"-scenario", "hotspot", "-delta", "0"},
 			"txsim: -delta must be > 0 (got 0)", ""},
 	}

@@ -43,6 +43,7 @@ import (
 	"txconflict/internal/core"
 	"txconflict/internal/dist"
 	"txconflict/internal/experiments"
+	"txconflict/internal/metrics"
 	"txconflict/internal/report"
 	"txconflict/internal/scenario"
 	"txconflict/internal/trace"
@@ -63,6 +64,8 @@ func main() {
 		delta    = flag.Int("delta", 1, "Add increment magnitude for the commutative scenarios (hotspot, kvcounter)")
 		shards   = flag.Int("shards", 0, "clock stripes per arena (0 = default, 1 = flat single-clock)")
 		kwindow  = flag.Int("kwindow", 0, "windowed conflict-chain estimator size (0 = instantaneous 2+waiters)")
+		reportIv = flag.Duration("report", 0, "periodic stderr progress reporter interval during measured cells: commits, p50/p99 commit latency, abort taxonomy (0 = off)")
+		msample  = flag.Int("metrics-sample", metrics.DefaultSampleN, "1-in-N sampling interval for the commit-phase timers (rounded up to a power of two)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text")
 		ablate   = flag.Bool("ablate", false, "run the STM design ablations instead of the strategy sweep (baseline pinned: -policy/-lazy/-shards/-kwindow ignored)")
@@ -85,6 +88,9 @@ func main() {
 		}
 	}
 	if err := cliutil.CheckPositive("delta", *delta); err != nil {
+		cliutil.Fatal("stmbench", err)
+	}
+	if err := cliutil.CheckPositive("metrics-sample", *msample); err != nil {
 		cliutil.Fatal("stmbench", err)
 	}
 	// Folding only exists inside the group-commit combiner, so a
@@ -122,6 +128,8 @@ func main() {
 	cfg.Delta = uint64(*delta)
 	cfg.Shards = *shards
 	cfg.KWindow = *kwindow
+	cfg.MetricsSample = *msample
+	cfg.ReportEvery = *reportIv
 	if strings.EqualFold(*policy, "ra") {
 		cfg.Policy = core.RequestorAborts
 	}

@@ -14,8 +14,10 @@
 //	txkvd -load http://127.0.0.1:7070 -users 8 -workload document
 //	txkvd -perf -out BENCH_txkv.json         # CI perf snapshot
 //
-// Endpoints: POST /v1/batch, GET /v1/stats, GET /v1/check,
-// GET /healthz.
+// Endpoints: POST /v1/batch, GET /v1/stats, GET|POST /v1/policy,
+// GET /v1/check, GET /metrics (Prometheus text exposition),
+// GET /healthz, and with -pprof the net/http/pprof suite under
+// /debug/pprof/.
 package main
 
 import (
@@ -24,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"time"
 
 	"txconflict/internal/cliutil"
 	"txconflict/internal/dist"
+	"txconflict/internal/metrics"
 	"txconflict/internal/rng"
 	"txconflict/internal/stm"
 	"txconflict/internal/tune"
@@ -56,6 +60,8 @@ func main() {
 		bench    = flag.Bool("bench", false, "run the workload closed-loop against an in-process store and exit")
 		perf     = flag.Bool("perf", false, "emit the JSON perf snapshot (keyed ops/sec at 1/4/8 procs)")
 		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux (serve mode; exposes goroutine/heap/CPU profiles — keep off on untrusted networks)")
+		msample  = flag.Int("metrics-sample", metrics.DefaultSampleN, "1-in-N sampling interval for the commit-phase timers (rounded up to a power of two)")
 	)
 	flag.Parse()
 
@@ -94,6 +100,15 @@ func main() {
 	if err := cliutil.CheckRequires("fold", *fold, *batch > 0, "-batch > 0 (folding happens in the group-commit combiner)"); err != nil {
 		cliutil.Fatal("txkvd", err)
 	}
+	if err := cliutil.CheckPositive("metrics-sample", *msample); err != nil {
+		cliutil.Fatal("txkvd", err)
+	}
+	// The pprof mux only exists in serve mode; in the one-shot modes
+	// the flag would silently do nothing.
+	serving := !*bench && !*perf && *load == ""
+	if err := cliutil.CheckRequires("pprof", *pprofOn, serving, "serve mode (-pprof mounts on the HTTP mux)"); err != nil {
+		cliutil.Fatal("txkvd", err)
+	}
 
 	cfg := stm.DefaultConfig()
 	// The combiner only exists in lazy mode; adaptive runs lazy too so
@@ -105,6 +120,15 @@ func main() {
 	if *adaptive && cfg.KWindow == 0 {
 		cfg.KWindow = 64 // the controller's k rules read the windowed estimator
 	}
+	// Always-on metrics plane: latency histograms and the abort
+	// taxonomy feed /metrics and /v1/stats; -metrics-sample paces the
+	// commit-phase timers. Sharded per worker — size for whichever
+	// pool identity (serve workers or bench users) is larger.
+	planeWorkers := *workers
+	if *bench && int(*users) > planeWorkers {
+		planeWorkers = int(*users)
+	}
+	cfg.Metrics = metrics.NewPlane(planeWorkers, *msample)
 
 	if *perf {
 		// The perf matrix sweeps all three commit modes itself; only
@@ -180,7 +204,7 @@ func main() {
 	case *load != "":
 		runRemote(w, *load, g)
 	default:
-		serve(w, *addr, *capacity, *workers, *seed, cfg, *adaptive, *fold)
+		serve(w, *addr, *capacity, *workers, *seed, cfg, *adaptive, *fold, *pprofOn)
 	}
 }
 
@@ -215,8 +239,11 @@ func modeLabel(cfg stm.Config, adaptive bool) string {
 // serve runs the HTTP front-end until the process is killed. The
 // store is sized for the selected workload unless -capacity is set.
 // With -adaptive, the internal/tune control loop runs over the served
-// runtime and /v1/policy exposes (and overrides) its decisions.
-func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cfg stm.Config, adaptive, escrow bool) {
+// runtime and /v1/policy exposes (and overrides) its decisions. With
+// -pprof, net/http/pprof mounts under /debug/pprof/ on the same mux
+// — guarded behind the flag because the profile endpoints leak
+// goroutine stacks and heap contents to anyone who can reach them.
+func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cfg stm.Config, adaptive, escrow, pprofOn bool) {
 	sampler := attachSampler(&cfg, adaptive)
 	s := w.NewStore(txkv.Config{Capacity: capacity, EscrowCounters: escrow, STM: cfg})
 	sv := txkv.NewServer(s, workers, seed)
@@ -226,9 +253,18 @@ func serve(w *txkv.Workload, addr string, capacity, workers int, seed uint64, cf
 		tn.Start() // sv.Close stops it
 	}
 	defer sv.Close()
-	fmt.Printf("txkvd: serving on %s (workload %s, capacity %d, %d workers, mode %s)\n",
-		addr, w.Name(), w.Capacity(), workers, modeLabel(cfg, adaptive))
-	if err := http.ListenAndServe(addr, sv); err != nil {
+	mux := http.NewServeMux()
+	mux.Handle("/", sv)
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+	fmt.Printf("txkvd: serving on %s (workload %s, capacity %d, %d workers, mode %s, pprof %v)\n",
+		addr, w.Name(), w.Capacity(), workers, modeLabel(cfg, adaptive), pprofOn)
+	if err := http.ListenAndServe(addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "txkvd:", err)
 		os.Exit(1)
 	}

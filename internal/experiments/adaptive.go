@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"txconflict/internal/core"
@@ -129,6 +130,12 @@ type AdaptiveReport struct {
 	// run; Decisions is the controller's log.
 	Swaps     uint64          `json:"swaps"`
 	Decisions []tune.Decision `json:"decisions,omitempty"`
+	// P99RuleFired reports that the controller's p99 latency-backoff
+	// rule demonstrably fired — during the live phases if contention
+	// produced a real tail regression, otherwise in the post-run
+	// latency drill (canned windows replayed through the live tuner
+	// via StepWindow). The firing's decision is in Decisions.
+	P99RuleFired bool `json:"p99RuleFired"`
 	// Converged reports every phase's Ratio >= 1 - Tolerance.
 	Converged bool `json:"converged"`
 }
@@ -245,6 +252,43 @@ func AdaptiveConvergence(cfg AdaptiveConfig) (*AdaptiveReport, error) {
 		rep.Phases = append(rep.Phases, pr)
 	}
 	tn.Stop()
+
+	// Latency-regression drill: with the live phases done and the
+	// ticker stopped, replay a canned commit-p99 blowout through the
+	// tuner (StepWindow: fixed windows, the controller's real
+	// accumulated baselines, real policy application). Whether a live
+	// tail regression occurs is machine- and load-dependent; the
+	// drill makes the p99 backoff rule's arming a reported invariant
+	// instead of a lucky draw. Escalating p99 values outrun the
+	// controller's EWMA baseline from any starting point, so the rule
+	// fires within the cap unless the live run already fired it.
+	hasP99 := func() bool {
+		for _, d := range tn.Decisions() {
+			for _, r := range d.Reasons {
+				if strings.Contains(r, "p99") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	drill := func(p99 float64) tune.Window {
+		return tune.Window{
+			Counters: tune.Counters{
+				Commits:     1000,
+				GraceWaitNs: 100_000, // 10% of DurNs: inside every hysteresis band
+				DurNs:       1_000_000,
+			},
+			Elapsed:     time.Second,
+			CommitP50Ns: p99 / 2,
+			CommitP99Ns: p99,
+		}
+	}
+	for p99 := 100_000.0; !hasP99() && p99 < 1e12; p99 *= 2 {
+		tn.StepWindow(drill(p99))
+	}
+	rep.P99RuleFired = hasP99()
+
 	rep.Swaps = rt.PolicySwaps()
 	rep.Decisions = tn.Decisions()
 	rep.Converged = true
@@ -267,6 +311,7 @@ func (r *AdaptiveReport) Table() *report.Table {
 	}
 	t.AddNote("policy swaps: %d, decisions: %d, converged (within %.0f%% of oracle): %v",
 		r.Swaps, len(r.Decisions), r.Tolerance*100, r.Converged)
+	t.AddNote("p99 backoff rule fired (live or drill): %v", r.P99RuleFired)
 	for _, d := range r.Decisions {
 		for _, reason := range d.Reasons {
 			t.AddNote("decision %d -> %s: %s", d.Seq, d.Policy, reason)

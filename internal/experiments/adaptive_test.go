@@ -55,6 +55,11 @@ func TestAdaptiveConvergenceSmoke(t *testing.T) {
 	if (rep.Swaps == 0) != (len(rep.Decisions) == 0) {
 		t.Fatalf("swaps=%d but %d decisions", rep.Swaps, len(rep.Decisions))
 	}
+	// The latency drill guarantees the p99 backoff rule fired on
+	// every run, so its decision must be in the log.
+	if !rep.P99RuleFired {
+		t.Fatalf("p99 backoff rule never fired; decisions: %+v", rep.Decisions)
+	}
 	// Table rendering must not panic and must carry one row per phase.
 	tab := rep.Table()
 	if len(tab.Rows) != len(rep.Phases) {

@@ -6,12 +6,14 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
 	"txconflict/internal/core"
 	"txconflict/internal/dist"
 	"txconflict/internal/htm"
+	"txconflict/internal/metrics"
 	"txconflict/internal/report"
 	"txconflict/internal/rng"
 	"txconflict/internal/scenario"
@@ -164,6 +166,16 @@ type STMConfig struct {
 	// fold or adaptive sweeps) — the bench-fleet path, where the
 	// matrix itself supplies the coverage.
 	Quick bool
+	// MetricsSample is the 1-in-N commit-phase timer sampling interval
+	// for the per-cell metrics plane (0 = metrics.DefaultSampleN).
+	// Every cell gets a fresh plane either way — latency quantiles and
+	// the abort taxonomy are always on.
+	MetricsSample int
+	// ReportEvery enables the periodic stderr reporter: every interval
+	// during a measured drive, one structured line with the window's
+	// commit count, p50/p99 commit latency, and abort taxonomy. 0
+	// disables (the default; perf snapshots stay quiet).
+	ReportEvery time.Duration
 	// Seed feeds the per-goroutine streams.
 	Seed uint64
 }
@@ -197,7 +209,9 @@ func stmScenario(bench string, length dist.Sampler, delta uint64, workers int, c
 }
 
 // stmRuntimeConfig assembles the stm.Config shared by the STM
-// harnesses from the experiment-level knobs.
+// harnesses from the experiment-level knobs. Every runtime gets its
+// own metrics plane, so each measured cell reads its own latency
+// quantiles and abort taxonomy without cross-cell bleed.
 func stmRuntimeConfig(cfg STMConfig, s core.Strategy) stm.Config {
 	return stm.Config{
 		Policy:          cfg.Policy,
@@ -209,6 +223,7 @@ func stmRuntimeConfig(cfg STMConfig, s core.Strategy) stm.Config {
 		KWindow:         cfg.KWindow,
 		CleanupCost:     2 * time.Microsecond,
 		MaxRetries:      256,
+		Metrics:         metrics.NewPlane(16, cfg.MetricsSample),
 	}
 }
 
@@ -254,18 +269,22 @@ func STMThroughput(bench string, cfg STMConfig) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	stratNames := []string{"NO_DELAY", "DELAY_TUNED", "DELAY_DET", "DELAY_RAND"}
 	t := &report.Table{
 		Title:   fmt.Sprintf("STM throughput (%s): ops/s, %v", bench, cfg.Policy),
-		Columns: []string{"goroutines", "NO_DELAY", "DELAY_TUNED", "DELAY_DET", "DELAY_RAND"},
+		Columns: append([]string{"goroutines"}, stratNames...),
 	}
 	for _, n := range cfg.Goroutines {
 		row := []interface{}{n}
-		for _, s := range stmStrategies(tuned) {
+		for si, s := range stmStrategies(tuned) {
 			rn, err := stmScenario(bench, cfg.Length, cfg.Delta, n, stmRuntimeConfig(cfg, s))
 			if err != nil {
 				return nil, err
 			}
+			stop := startReporter(os.Stderr, rn.Runtime(), cfg.ReportEvery,
+				fmt.Sprintf("%s g=%d %s", bench, n, stratNames[si]))
 			res := rn.Drive(n, cfg.Duration, cfg.Seed)
+			stop()
 			if err := rn.Check(res.PerWorker); err != nil {
 				return nil, fmt.Errorf("experiments: %s at %d goroutines: %w", bench, n, err)
 			}

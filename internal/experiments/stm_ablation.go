@@ -20,7 +20,12 @@ type stmMeasurement struct {
 	CommitsPerSec   float64
 	AbortsPerCommit float64
 	KEstimate       float64
-	Stats           map[string]uint64
+	// CommitP50Ns/CommitP99Ns are commit-latency quantiles from the
+	// runtime's metrics plane (0 when the runtime has no plane or
+	// nothing committed).
+	CommitP50Ns float64
+	CommitP99Ns float64
+	Stats       map[string]uint64
 }
 
 // measureSTM runs n goroutines against the scenario runner for
@@ -39,6 +44,11 @@ func measureSTM(rn *scenario.STMRunner, n int, d time.Duration, seed uint64) (st
 	}
 	if commits > 0 {
 		m.AbortsPerCommit = float64(snap["aborts"]) / float64(commits)
+	}
+	if p := rn.Runtime().Metrics(); p != nil {
+		ps := p.Snapshot()
+		q := ps.Commit.Summary()
+		m.CommitP50Ns, m.CommitP99Ns = q.P50, q.P99
 	}
 	return m, nil
 }
@@ -116,6 +126,10 @@ type STMPerfPoint struct {
 	AbortsPerCommit float64 `json:"abortsPerCommit"`
 	Kills           uint64  `json:"kills"`
 	KEstimate       float64 `json:"kEstimate,omitempty"`
+	// Commit-latency quantiles from the per-cell metrics plane, so the
+	// perf history tracks the tail alongside throughput.
+	CommitP50Ns float64 `json:"p50Ns,omitempty"`
+	CommitP99Ns float64 `json:"p99Ns,omitempty"`
 }
 
 // STMScenarioPerf is one registry scenario's committed-transaction
@@ -126,6 +140,8 @@ type STMScenarioPerf struct {
 	Goroutines      int     `json:"goroutines"`
 	CommitsPerSec   float64 `json:"commitsPerSec"`
 	AbortsPerCommit float64 `json:"abortsPerCommit"`
+	CommitP50Ns     float64 `json:"p50Ns,omitempty"`
+	CommitP99Ns     float64 `json:"p99Ns,omitempty"`
 }
 
 // STMBatchPerf is one CommitBatch level of the lazy group-commit
@@ -136,6 +152,8 @@ type STMScenarioPerf struct {
 type STMBatchPerf struct {
 	CommitBatch   int     `json:"commitBatch"`
 	CommitsPerSec float64 `json:"commitsPerSec"`
+	CommitP50Ns   float64 `json:"p50Ns,omitempty"`
+	CommitP99Ns   float64 `json:"p99Ns,omitempty"`
 	Batches       uint64  `json:"batches,omitempty"`
 	BatchCommits  uint64  `json:"batchCommits,omitempty"`
 	BatchFails    uint64  `json:"batchFails,omitempty"`
@@ -246,6 +264,8 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 			AbortsPerCommit: m.AbortsPerCommit,
 			Kills:           m.Stats["kills"],
 			KEstimate:       m.KEstimate,
+			CommitP50Ns:     m.CommitP50Ns,
+			CommitP99Ns:     m.CommitP99Ns,
 		})
 	}
 	// Per-scenario sweep: every registry workload at a fixed level,
@@ -270,6 +290,8 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 			Goroutines:      scenarioLevel,
 			CommitsPerSec:   m.CommitsPerSec,
 			AbortsPerCommit: m.AbortsPerCommit,
+			CommitP50Ns:     m.CommitP50Ns,
+			CommitP99Ns:     m.CommitP99Ns,
 		})
 	}
 	// Lazy group-commit sweep at the highest level: batch=0 is the
@@ -290,6 +312,8 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 		rep.BatchSweep = append(rep.BatchSweep, STMBatchPerf{
 			CommitBatch:   bsz,
 			CommitsPerSec: m.CommitsPerSec,
+			CommitP50Ns:   m.CommitP50Ns,
+			CommitP99Ns:   m.CommitP99Ns,
 			Batches:       m.Stats["batches"],
 			BatchCommits:  m.Stats["batchCommits"],
 			BatchFails:    m.Stats["batchFails"],

@@ -1,0 +1,256 @@
+package metrics
+
+import "sync/atomic"
+
+// AbortReason is the abort taxonomy: every aborted attempt (and the
+// two non-abort escalation events, MaxRetries and explicit user
+// aborts) is attributed to exactly one reason, replacing the single
+// opaque Aborts counter for diagnosis. The stm runtime maps its
+// internal unwind causes onto these categories.
+type AbortReason uint8
+
+const (
+	// AbortKilled: a requestor won the conflict and killed this
+	// attempt (mid-execution, while waiting, or at the commit point).
+	AbortKilled AbortReason = iota
+	// AbortValidation: the read set failed validation — a snapshot
+	// extension or commit-time recheck saw a newer version or a
+	// foreign lock.
+	AbortValidation
+	// AbortLockTimeout: the grace period on a locked word expired with
+	// the requestor on the losing side (requestor-aborts resolution,
+	// or yielding to an irrevocable lock holder).
+	AbortLockTimeout
+	// AbortBatchAdmission: the group-commit combiner refused this
+	// write set (stale reads or an intra-batch lost-update hazard).
+	AbortBatchAdmission
+	// AbortMaxRetries: the attempt budget ran out and the block
+	// escalated to the irrevocable slow path (counted once per
+	// escalation, alongside the per-attempt reason that caused it).
+	AbortMaxRetries
+	// AbortExplicit: the transaction function returned an error — a
+	// user-level abort, never retried.
+	AbortExplicit
+
+	NumAbortReasons = int(AbortExplicit) + 1
+)
+
+// abortReasonNames are the label values used in exposition and JSON.
+var abortReasonNames = [NumAbortReasons]string{
+	"killed",
+	"read-validation",
+	"lock-timeout",
+	"batch-admission",
+	"max-retries",
+	"explicit",
+}
+
+func (r AbortReason) String() string {
+	if int(r) < len(abortReasonNames) {
+		return abortReasonNames[r]
+	}
+	return "unknown"
+}
+
+// CommitPhase labels the sampled commit-phase timers.
+type CommitPhase uint8
+
+const (
+	// PhaseValidate: commit-time read-set validation (and batch
+	// admission, its combiner analogue).
+	PhaseValidate CommitPhase = iota
+	// PhaseLock: commit-lock acquisition (lazy mode; the combiner's
+	// merged-plan acquisition in batched mode).
+	PhaseLock
+	// PhaseWriteBack: applying the buffered write set (including
+	// folded delta sums) to the arena words.
+	PhaseWriteBack
+	// PhaseClock: stripe-clock advance and lock release.
+	PhaseClock
+
+	NumCommitPhases = int(PhaseClock) + 1
+)
+
+var commitPhaseNames = [NumCommitPhases]string{
+	"validate",
+	"lock",
+	"writeback",
+	"clock",
+}
+
+func (p CommitPhase) String() string {
+	if int(p) < len(commitPhaseNames) {
+		return commitPhaseNames[p]
+	}
+	return "unknown"
+}
+
+const cacheLine = 64
+
+// DefaultSampleN is the default 1-in-N sampling interval for the
+// commit-phase timers (the histograms are never sampled — every
+// transaction is observed).
+const DefaultSampleN = 64
+
+// Shard is one worker's slice of the plane. All methods are lock-free
+// single-atomic-op updates; a worker hammering its own shard never
+// contends with scrapes or with other workers (modulo shard-count
+// folding when workers exceed shards).
+type Shard struct {
+	attempt Histogram // per-attempt wall time, committed and aborted
+	commit  Histogram // whole-block wall time of committed blocks
+	grace   Histogram // per-conflict grace-period wait
+	drain   Histogram // combiner round: drain to outcome stamps
+
+	aborts  [NumAbortReasons]atomic.Uint64
+	phaseNs [NumCommitPhases]atomic.Uint64
+	phaseN  [NumCommitPhases]atomic.Uint64
+
+	tick       atomic.Uint64
+	sampleMask uint64
+
+	_ [cacheLine]byte
+}
+
+// ObserveAttempt records one attempt's wall time (ns).
+func (s *Shard) ObserveAttempt(ns int64) { s.attempt.Observe(ns) }
+
+// ObserveCommit records a committed block's total wall time (ns),
+// first attempt to final commit.
+func (s *Shard) ObserveCommit(ns int64) { s.commit.Observe(ns) }
+
+// ObserveGrace records one grace-period wait (ns).
+func (s *Shard) ObserveGrace(ns int64) { s.grace.Observe(ns) }
+
+// ObserveDrain records one combiner round's duration (ns).
+func (s *Shard) ObserveDrain(ns int64) { s.drain.Observe(ns) }
+
+// Abort attributes one aborted attempt (or escalation event).
+func (s *Shard) Abort(r AbortReason) { s.aborts[r].Add(1) }
+
+// Sample reports whether this commit should run the phase timers:
+// true once every SampleN calls on this shard.
+func (s *Shard) Sample() bool {
+	return s.tick.Add(1)&s.sampleMask == 0
+}
+
+// Phase accumulates one sampled phase timing (ns).
+func (s *Shard) Phase(p CommitPhase, ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	s.phaseNs[p].Add(uint64(ns))
+	s.phaseN[p].Add(1)
+}
+
+// Plane is the sharded metrics plane: one Shard per worker slot
+// (folded modulo the shard count), merged on Snapshot.
+type Plane struct {
+	shards  []Shard
+	mask    int
+	sampleN int
+}
+
+// NewPlane builds a plane sized for the given worker count. workers
+// is rounded up to a power of two and capped (shards are ~17KB each);
+// sampleN is the 1-in-N phase-timer interval, rounded up to a power
+// of two, with <= 0 selecting DefaultSampleN.
+func NewPlane(workers, sampleN int) *Plane {
+	n := 1
+	for n < workers && n < 16 {
+		n <<= 1
+	}
+	if sampleN <= 0 {
+		sampleN = DefaultSampleN
+	}
+	sn := 1
+	for sn < sampleN {
+		sn <<= 1
+	}
+	p := &Plane{shards: make([]Shard, n), mask: n - 1, sampleN: sn}
+	for i := range p.shards {
+		p.shards[i].sampleMask = uint64(sn - 1)
+	}
+	return p
+}
+
+// Shard returns the shard for a worker id (any id, including the -1
+// of anonymous Atomic calls, maps to a valid shard).
+func (p *Plane) Shard(worker int) *Shard {
+	if worker < 0 {
+		worker = 0
+	}
+	return &p.shards[worker&p.mask]
+}
+
+// SampleN returns the effective phase-timer sampling interval.
+func (p *Plane) SampleN() int { return p.sampleN }
+
+// PlaneSnapshot is the merged view of every shard at one instant.
+type PlaneSnapshot struct {
+	Attempt HistSnapshot
+	Commit  HistSnapshot
+	Grace   HistSnapshot
+	Drain   HistSnapshot
+
+	Aborts  [NumAbortReasons]uint64
+	PhaseNs [NumCommitPhases]uint64
+	PhaseN  [NumCommitPhases]uint64
+
+	SampleN int
+}
+
+// Snapshot merges all shards into one plane-wide view.
+func (p *Plane) Snapshot() PlaneSnapshot {
+	out := PlaneSnapshot{SampleN: p.sampleN}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		a, c, g, d := sh.attempt.Snapshot(), sh.commit.Snapshot(), sh.grace.Snapshot(), sh.drain.Snapshot()
+		out.Attempt.Merge(&a)
+		out.Commit.Merge(&c)
+		out.Grace.Merge(&g)
+		out.Drain.Merge(&d)
+		for r := 0; r < NumAbortReasons; r++ {
+			out.Aborts[r] += sh.aborts[r].Load()
+		}
+		for ph := 0; ph < NumCommitPhases; ph++ {
+			out.PhaseNs[ph] += sh.phaseNs[ph].Load()
+			out.PhaseN[ph] += sh.phaseN[ph].Load()
+		}
+	}
+	return out
+}
+
+// AbortTotal sums the taxonomy (per-attempt reasons only, excluding
+// the MaxRetries escalation marker and explicit user aborts, so the
+// total is comparable to Stats.Aborts).
+func (s *PlaneSnapshot) AbortTotal() uint64 {
+	var t uint64
+	for r := 0; r < NumAbortReasons; r++ {
+		if r == int(AbortMaxRetries) || r == int(AbortExplicit) {
+			continue
+		}
+		t += s.Aborts[r]
+	}
+	return t
+}
+
+// LatencySummaries renders the four histograms as the standard
+// quantile ladder, keyed for JSON (/v1/stats, BENCH cells).
+func (s *PlaneSnapshot) LatencySummaries() map[string]Quantiles {
+	return map[string]Quantiles{
+		"attempt":       s.Attempt.Summary(),
+		"commit":        s.Commit.Summary(),
+		"graceWait":     s.Grace.Summary(),
+		"combinerDrain": s.Drain.Summary(),
+	}
+}
+
+// AbortCounts renders the taxonomy as a name-keyed map.
+func (s *PlaneSnapshot) AbortCounts() map[string]uint64 {
+	out := make(map[string]uint64, NumAbortReasons)
+	for r := 0; r < NumAbortReasons; r++ {
+		out[AbortReason(r).String()] = s.Aborts[r]
+	}
+	return out
+}

@@ -1,7 +1,10 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -142,12 +145,24 @@ func (rn *STMRunner) Drive(workers int, d time.Duration, seed uint64) DriveResul
 	root := rng.New(seed)
 	counts := make([]uint64, workers)
 	stop := make(chan struct{})
+	// Profiler labels carry the experiment context into pprof output:
+	// CPU and block profiles split by scenario and commit mode, so a
+	// mixed run (adaptive phases, perf sweeps) stays attributable.
+	mode := "eager"
+	if rn.rt.Config().Lazy {
+		mode = "lazy"
+		if rn.rt.Policy().CommitBatch > 0 {
+			mode = "lazy-batched"
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
 		r := root.Split()
 		wg.Add(1)
-		go func() {
+		labels := pprof.Labels("scenario", rn.sc.Name(),
+			"stm_mode", mode, "stm_worker", strconv.Itoa(w))
+		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer wg.Done()
 			for {
 				select {
@@ -158,7 +173,7 @@ func (rn *STMRunner) Drive(workers int, d time.Duration, seed uint64) DriveResul
 				rn.RunOne(w, r)
 				counts[w]++
 			}
-		}()
+		})
 	}
 	start := time.Now()
 	time.Sleep(d)

@@ -98,12 +98,14 @@ package stm
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"txconflict/internal/core"
+	"txconflict/internal/metrics"
 	"txconflict/internal/strategy"
 )
 
@@ -200,6 +202,14 @@ type Config struct {
 	// instrumentation is gated behind this nil check, so the hot path
 	// is unperturbed when tracing is off.
 	Trace Tracer
+	// Metrics, when non-nil, attaches the observability plane
+	// (internal/metrics): per-worker latency histograms for attempt,
+	// commit, grace-wait and combiner-drain time, the abort-reason
+	// taxonomy, and 1-in-N sampled commit-phase timers. Unlike Trace
+	// it is meant to stay on in production — the per-transaction cost
+	// is a few uncontended atomic adds and no allocations (pinned by
+	// TestTraceGateOverhead's metrics variant).
+	Metrics *metrics.Plane
 }
 
 // DefaultConfig returns an eager requestor-wins configuration with
@@ -292,22 +302,25 @@ type Stats struct {
 	FoldedWords   atomic.Uint64 // hot words applied as one summed delta
 }
 
-// Snapshot returns a plain-value copy of the counters.
+// Snapshot returns a plain-value copy of the counters, keyed by the
+// lowerCamel field name ("SelfAborts" → "selfAborts"). The map is
+// generated by reflection over the struct, so a counter added to
+// Stats can never be silently missing from /v1/stats, the Prometheus
+// exposition, or the bench reports — the set of keys IS the set of
+// fields (asserted by TestStatsSnapshotComplete).
 func (s *Stats) Snapshot() map[string]uint64 {
-	return map[string]uint64{
-		"commits":       s.Commits.Load(),
-		"aborts":        s.Aborts.Load(),
-		"kills":         s.Kills.Load(),
-		"selfAborts":    s.SelfAborts.Load(),
-		"graceWaits":    s.GraceWaits.Load(),
-		"irrevocable":   s.Irrevocable.Load(),
-		"extensions":    s.Extensions.Load(),
-		"batches":       s.Batches.Load(),
-		"batchCommits":  s.BatchCommits.Load(),
-		"batchFails":    s.BatchFails.Load(),
-		"foldedCommits": s.FoldedCommits.Load(),
-		"foldedWords":   s.FoldedWords.Load(),
+	v := reflect.ValueOf(s).Elem()
+	t := v.Type()
+	out := make(map[string]uint64, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		c, ok := v.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			continue
+		}
+		name := t.Field(i).Name
+		out[string(name[0]|0x20)+name[1:]] = c.Load()
 	}
+	return out
 }
 
 // Runtime is a transactional memory arena plus its conflict policy.
@@ -319,6 +332,7 @@ func (s *Stats) Snapshot() map[string]uint64 {
 type Runtime struct {
 	lazy       bool
 	tracer     Tracer
+	metrics    *metrics.Plane
 	stripeMask int
 	stripes    []stripe
 	meta       []wordMeta
@@ -358,6 +372,7 @@ func New(n int, cfg Config) *Runtime {
 	rt := &Runtime{
 		lazy:       cfg.Lazy,
 		tracer:     cfg.Trace,
+		metrics:    cfg.Metrics,
 		stripeMask: sh - 1,
 		stripes:    make([]stripe, sh),
 		meta:       make([]wordMeta, n),
@@ -447,8 +462,13 @@ func (rt *Runtime) Config() Config {
 		BackoffFactor:   p.BackoffFactor,
 		MaxRetries:      p.MaxRetries,
 		Trace:           rt.tracer,
+		Metrics:         rt.metrics,
 	}
 }
+
+// Metrics returns the attached observability plane (nil when the
+// runtime was built without one).
+func (rt *Runtime) Metrics() *metrics.Plane { return rt.metrics }
 
 // ReadCommitted reads a word outside any transaction, spinning past
 // transient locks. Intended for post-run verification.

@@ -61,6 +61,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"txconflict/internal/metrics"
 )
 
 // batchShard is one combiner lane, padded onto its own cache line:
@@ -191,10 +193,10 @@ func (tx *Tx) finishBatch(out uint64) {
 		}
 		return
 	case statusBatchKilled:
-		tx.abort("killed-at-commit")
+		tx.abort(metrics.AbortKilled)
 	default: // statusBatchFail
 		tx.rt.Stats.SelfAborts.Add(1)
-		tx.abort("batch-validation")
+		tx.abort(metrics.AbortBatchAdmission)
 	}
 }
 
@@ -211,11 +213,21 @@ const maxHelpRounds = 2
 // abort unwinding out of lock acquisition. Returns tx's own outcome.
 func (tx *Tx) combine(sh *batchShard) uint64 {
 	defer sh.busy.Store(0)
+	var t0 int64
+	if tx.mx != nil {
+		t0 = time.Now().UnixNano()
+	}
 	out := tx.combineRound(sh, true)
 	for r := 0; r < maxHelpRounds && sh.head.Load() != nil; r++ {
 		if !tx.helpRound(sh) {
 			break
 		}
+	}
+	if tx.mx != nil {
+		// Drain time: the whole lane occupancy, own round plus
+		// altruistic rounds (a combiner abort unwinds past this and
+		// the round goes unobserved, like any other dead attempt).
+		tx.mx.ObserveDrain(time.Now().UnixNano() - t0)
 	}
 	return out
 }
@@ -330,6 +342,14 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 		tx.dropBatchRefs()
 	}()
 
+	// Phase timers, 1-in-N sampled on the combiner's shard; the whole
+	// batch's phase work is attributed to one sample, matching the
+	// amortization story (one acquisition/advance for many commits).
+	sampled := tx.mx != nil && tx.mx.Sample()
+	var t0 int64
+	if sampled {
+		t0 = time.Now().UnixNano()
+	}
 	for i, idx := range locks {
 		m := &rt.meta[idx]
 		for {
@@ -348,6 +368,11 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 		}
 	}
 	tx.batchVers = vers
+	if sampled {
+		t1 := time.Now().UnixNano()
+		tx.mx.Phase(metrics.PhaseLock, t1-t0)
+		t0 = t1
+	}
 
 	// Admission, in roster order. A member is admitted iff every read
 	// still holds its recorded version — words locked by this batch
@@ -407,6 +432,11 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 	}
 	tx.batchOuts = outs
 	tx.batchAdmitted = admittedWrites
+	if sampled {
+		t1 := time.Now().UnixNano()
+		tx.mx.Phase(metrics.PhaseValidate, t1-t0)
+		t0 = t1
+	}
 
 	// Write back admitted members in roster order (a later-admitted
 	// writer of a shared word serializes after, so its value wins).
@@ -464,6 +494,11 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 	}
 	tx.batchFolds = folds
 	tx.batchSums = sums
+	if sampled {
+		t1 := time.Now().UnixNano()
+		tx.mx.Phase(metrics.PhaseWriteBack, t1-t0)
+		t0 = t1
+	}
 
 	// Release: one clock advance per *written* stripe for the whole
 	// batch — the CAS-traffic amortization this path exists for. A
@@ -490,6 +525,9 @@ func (tx *Tx) combineRound(sh *batchShard, includeSelf bool) uint64 {
 		}
 	}
 	clear(tx.wvs)
+	if sampled {
+		tx.mx.Phase(metrics.PhaseClock, time.Now().UnixNano()-t0)
+	}
 
 	// Stamp outcomes (after release, so failed members re-fight for
 	// locks immediately) and settle the ledger. Per-member commit

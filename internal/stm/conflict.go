@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"txconflict/internal/core"
+	"txconflict/internal/metrics"
 	"txconflict/internal/strategy"
 )
 
@@ -49,12 +50,18 @@ func (tx *Tx) onLocked(idx int) {
 		return
 	}
 	rt.Stats.GraceWaits.Add(1)
-	if tx.traced {
+	if tx.traced || tx.mx != nil {
 		// The deferred accumulation also runs when the wait ends in
 		// an abort panic, so no grace time is lost on killed waiters.
 		waitStart := time.Now()
 		defer func() {
-			tx.tr.GraceWaitNs += time.Since(waitStart).Nanoseconds()
+			ns := time.Since(waitStart).Nanoseconds()
+			if tx.traced {
+				tx.tr.GraceWaitNs += ns
+			}
+			if tx.mx != nil {
+				tx.mx.ObserveGrace(ns)
+			}
 		}()
 	}
 	k := owner.chainK()
@@ -90,7 +97,7 @@ func (tx *Tx) onLocked(idx int) {
 			return
 		}
 		if tx.killed() {
-			tx.abort("killed-while-waiting")
+			tx.abort(metrics.AbortKilled)
 		}
 		if !time.Now().Before(deadline) {
 			break
@@ -101,7 +108,7 @@ func (tx *Tx) onLocked(idx int) {
 	if owner.irrevocable.Load() {
 		// The receiver cannot be killed; yield to it.
 		rt.Stats.SelfAborts.Add(1)
-		tx.abort("yield-to-irrevocable")
+		tx.abort(metrics.AbortLockTimeout)
 	}
 	if pol == core.RequestorWins || tx.irrevocable.Load() {
 		if owner.state.CompareAndSwap(st0, st0&^stateStatusMask|statusKilled) {
@@ -116,7 +123,7 @@ func (tx *Tx) onLocked(idx int) {
 		// each other forever.
 		for !gone() {
 			if tx.killed() {
-				tx.abort("killed-while-waiting")
+				tx.abort(metrics.AbortKilled)
 			}
 			runtime.Gosched()
 		}
@@ -124,7 +131,7 @@ func (tx *Tx) onLocked(idx int) {
 	}
 	// Requestor aborts.
 	rt.Stats.SelfAborts.Add(1)
-	tx.abort("requestor-aborts")
+	tx.abort(metrics.AbortLockTimeout)
 }
 
 // maxGrace caps the grace period a strategy can request. Strategies

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"txconflict/internal/core"
+	"txconflict/internal/metrics"
 	"txconflict/internal/rng"
 )
 
@@ -52,7 +53,7 @@ func TestEpochKillSkipsLaterAttempt(t *testing.T) {
 			if tx.Attempts() == 0 {
 				close(held1)
 				<-abort1
-				panic(txAbort{reason: "staged-retry"})
+				panic(txAbort{reason: metrics.AbortValidation})
 			}
 			select {
 			case held2 <- struct{}{}:
@@ -154,7 +155,7 @@ func TestForeignPanicReleasesIrrevocableToken(t *testing.T) {
 		}()
 		_ = rt.Atomic(r, func(tx *Tx) error {
 			if tx.Attempts() == 0 {
-				panic(txAbort{reason: "staged-retry"}) // force escalation
+				panic(txAbort{reason: metrics.AbortValidation}) // force escalation
 			}
 			panic("user bug on the irrevocable path")
 		})

@@ -1,0 +1,165 @@
+package stm
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"txconflict/internal/metrics"
+	"txconflict/internal/rng"
+)
+
+// TestStatsSnapshotComplete holds Snapshot to the struct: every
+// atomic.Uint64 field of Stats must appear in the map under its
+// lowerCamel name — the reflection generator makes this true by
+// construction, and this test makes sure Stats never grows a counter
+// of a type the generator skips.
+func TestStatsSnapshotComplete(t *testing.T) {
+	var s Stats
+	s.Commits.Store(7)
+	s.FoldedWords.Store(3)
+	snap := s.Snapshot()
+
+	st := reflect.TypeOf(&s).Elem()
+	au := reflect.TypeOf(atomic.Uint64{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type != au {
+			t.Errorf("Stats.%s is %v, not atomic.Uint64 — Snapshot() and the Prometheus exposition will not see it", f.Name, f.Type)
+			continue
+		}
+		key := string(f.Name[0]|0x20) + f.Name[1:]
+		if _, ok := snap[key]; !ok {
+			t.Errorf("Snapshot() missing key %q for field %s", key, f.Name)
+		}
+	}
+	if len(snap) != st.NumField() {
+		t.Errorf("Snapshot() has %d keys for %d fields", len(snap), st.NumField())
+	}
+	if snap["commits"] != 7 || snap["foldedWords"] != 3 {
+		t.Errorf("Snapshot() values wrong: %v", snap)
+	}
+}
+
+// TestMetricsPlaneWiring runs real transactions through every commit
+// path on a metrics-enabled runtime and reconciles the plane against
+// Stats: histogram counts, the abort taxonomy, and the explicit-abort
+// and killed reasons all have to line up with the runtime's ground
+// truth.
+func TestMetricsPlaneWiring(t *testing.T) {
+	modes := []struct {
+		name  string
+		lazy  bool
+		batch int
+		fold  bool
+	}{
+		{"eager", false, 0, false},
+		{"lazy", true, 0, false},
+		{"lazy-batched", true, 4, false},
+		{"lazy-batched-folded", true, 4, true},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			plane := metrics.NewPlane(4, 4)
+			cfg := DefaultConfig()
+			cfg.Lazy = m.lazy
+			cfg.CommitBatch = m.batch
+			cfg.FoldCommutative = m.fold
+			cfg.Metrics = plane
+			rt := New(16, cfg)
+			if rt.Metrics() != plane {
+				t.Fatal("Metrics() accessor lost the plane")
+			}
+
+			const workers, txPerWorker = 4, 300
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rng.New(uint64(100 + w))
+					for i := 0; i < txPerWorker; i++ {
+						_ = rt.AtomicWorker(w, r, func(tx *Tx) error {
+							tx.Add(0, 1) // hot word: real conflicts
+							tx.Store(1+w, tx.Load(1+w)+1)
+							return nil
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			errBoom := errors.New("boom")
+			if err := rt.Atomic(rng.New(9), func(tx *Tx) error {
+				tx.Store(8, 1)
+				return errBoom
+			}); !errors.Is(err, errBoom) {
+				t.Fatalf("user abort returned %v", err)
+			}
+
+			s := plane.Snapshot()
+			commits := rt.Stats.Commits.Load()
+			aborts := rt.Stats.Aborts.Load()
+			if commits != workers*txPerWorker {
+				t.Fatalf("commits = %d, want %d", commits, workers*txPerWorker)
+			}
+			if s.Commit.Count != commits {
+				t.Errorf("commit histogram count = %d, want %d", s.Commit.Count, commits)
+			}
+			// Every attempt is observed exactly once: committed,
+			// aborted-and-retried, or the one explicit user abort.
+			if want := commits + aborts + 1; s.Attempt.Count != want {
+				t.Errorf("attempt histogram count = %d, want %d", s.Attempt.Count, want)
+			}
+			// The per-attempt taxonomy partitions Stats.Aborts.
+			if got := s.AbortTotal(); got != aborts {
+				t.Errorf("abort taxonomy total = %d, want Stats.Aborts = %d (taxonomy %v)",
+					got, aborts, s.AbortCounts())
+			}
+			if s.Aborts[metrics.AbortExplicit] != 1 {
+				t.Errorf("explicit aborts = %d, want 1", s.Aborts[metrics.AbortExplicit])
+			}
+			if kills := rt.Stats.Kills.Load(); kills > 0 && s.Aborts[metrics.AbortKilled] == 0 {
+				t.Errorf("%d kills landed but the killed reason is zero", kills)
+			}
+			if g := rt.Stats.GraceWaits.Load(); g > 0 && s.Grace.Count == 0 {
+				t.Errorf("%d grace waits but the grace histogram is empty", g)
+			}
+			if m.batch > 0 && rt.Stats.Batches.Load() > 0 && s.Drain.Count == 0 {
+				t.Error("combiner ran but the drain histogram is empty")
+			}
+			// Sampled phase timers: with 1-in-4 sampling over 1200
+			// commits, every mode has sampled at least one commit.
+			var phases uint64
+			for ph := 0; ph < metrics.NumCommitPhases; ph++ {
+				phases += s.PhaseN[ph]
+			}
+			if phases == 0 {
+				t.Error("no commit-phase samples recorded")
+			}
+			// State stays exact regardless of instrumentation.
+			if got := rt.ReadCommitted(0); got != workers*txPerWorker {
+				t.Fatalf("hot word = %d, want %d", got, workers*txPerWorker)
+			}
+		})
+	}
+}
+
+// BenchmarkUncontendedTxMetrics is the metrics-on counterpart of
+// BenchmarkUncontendedTx: the honest per-transaction price of the
+// always-on plane (histogram observes plus the sampling tick).
+func BenchmarkUncontendedTxMetrics(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Metrics = metrics.NewPlane(1, 0)
+	rt := New(64, cfg)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.AtomicWorker(0, r, func(tx *Tx) error {
+			tx.Store(i%64, uint64(i))
+			return nil
+		})
+	}
+}

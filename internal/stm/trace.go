@@ -1,8 +1,9 @@
 package stm
 
 import (
-	"strings"
 	"time"
+
+	"txconflict/internal/metrics"
 )
 
 // TxTrace summarizes one completed Atomic call — every attempt of one
@@ -109,8 +110,8 @@ outer:
 }
 
 // noteAbort records trace-relevant facts about an aborted attempt.
-func (tx *Tx) noteAbort(reason string) {
-	if strings.HasPrefix(reason, "killed") {
+func (tx *Tx) noteAbort(reason metrics.AbortReason) {
+	if reason == metrics.AbortKilled {
 		tx.tr.KillsSuffered++
 	}
 }

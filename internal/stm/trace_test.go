@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"txconflict/internal/metrics"
 	"txconflict/internal/rng"
 )
 
@@ -211,9 +212,14 @@ func TestTraceKillAccounting(t *testing.T) {
 //  5. both guarantees survive a live SetPolicy swap: the control
 //     plane's per-attempt policy load is one atomic pointer read, so
 //     a runtime whose policy has been replaced mid-flight costs the
-//     same as one still on its construction-time policy.
+//     same as one still on its construction-time policy;
+//  6. the metrics plane (Config.Metrics) holds the same bar with the
+//     histograms ON at the default phase-sampling rate: zero
+//     allocations per transaction and within the 5% gate — metrics
+//     are the always-on tier, so their cost budget is the hot path's,
+//     not the tracer's.
 func TestTraceGateOverhead(t *testing.T) {
-	mk := func(traced *countTracer, batch int) *Runtime {
+	mk := func(traced *countTracer, batch int, plane *metrics.Plane) *Runtime {
 		cfg := DefaultConfig()
 		if traced != nil {
 			cfg.Trace = traced
@@ -222,11 +228,12 @@ func TestTraceGateOverhead(t *testing.T) {
 			cfg.Lazy = true
 			cfg.CommitBatch = batch
 		}
+		cfg.Metrics = plane
 		return New(64, cfg)
 	}
 
 	ct := &countTracer{}
-	rtOn := mk(ct, 0)
+	rtOn := mk(ct, 0, nil)
 	r := rng.New(1)
 	for i := 0; i < 100; i++ {
 		_ = rtOn.Atomic(r, func(tx *Tx) error { tx.Store(i%64, 1); return nil })
@@ -235,9 +242,11 @@ func TestTraceGateOverhead(t *testing.T) {
 		t.Fatalf("tracer fired %d times for 100 blocks", ct.n)
 	}
 
-	rtOff := mk(nil, 0)
-	rtBatch := mk(nil, 4)
-	rtSwapped := mk(nil, 0)
+	rtOff := mk(nil, 0, nil)
+	rtBatch := mk(nil, 4, nil)
+	rtSwapped := mk(nil, 0, nil)
+	rtMetrics := mk(nil, 0, metrics.NewPlane(2, 0))
+	rtMetricsBatch := mk(nil, 4, metrics.NewPlane(2, 0))
 	{ // exercise the control plane: replace the policy before measuring
 		p := rtSwapped.Policy()
 		p.CleanupCost++
@@ -258,6 +267,16 @@ func TestTraceGateOverhead(t *testing.T) {
 			_ = rtSwapped.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
 		}); avg > 0.5 {
 			t.Errorf("swapped-policy transaction allocates %.1f objects/op, want 0", avg)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			_ = rtMetrics.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
+		}); avg > 0.5 {
+			t.Errorf("metrics-on transaction allocates %.1f objects/op, want 0", avg)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			_ = rtMetricsBatch.AtomicWorker(0, r, func(tx *Tx) error { tx.Store(1, 2); return nil })
+		}); avg > 0.5 {
+			t.Errorf("metrics-on batched transaction allocates %.1f objects/op, want 0", avg)
 		}
 	}
 
@@ -287,14 +306,28 @@ func TestTraceGateOverhead(t *testing.T) {
 		{"eager", rtOff},
 		{"lazy-batched", rtBatch},
 		{"policy-swapped", rtSwapped},
+		{"eager-metrics-on", rtMetrics},
+		{"lazy-batched-metrics-on", rtMetricsBatch},
 	} {
-		base, off := 1e18, 1e18
-		for trial := 0; trial < 5; trial++ {
-			if v := loop(v.rt, -1); v < base {
-				base = v
+		// Interleaved min-of-5 trials absorb most scheduler noise, but
+		// `go test ./...` runs whole packages in parallel and a noisy
+		// neighbour can still skew one side of a comparison. A genuine
+		// overhead regression skews every repetition the same way, so
+		// retry the measurement and fail only when the gate is
+		// exceeded on every attempt.
+		var base, off float64
+		for attempt := 0; attempt < 3; attempt++ {
+			base, off = 1e18, 1e18
+			for trial := 0; trial < 5; trial++ {
+				if v := loop(v.rt, -1); v < base {
+					base = v
+				}
+				if v := loop(v.rt, 0); v < off {
+					off = v
+				}
 			}
-			if v := loop(v.rt, 0); v < off {
-				off = v
+			if off <= base*1.05 {
+				break
 			}
 		}
 		if off > base*1.05 {

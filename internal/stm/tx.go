@@ -6,6 +6,7 @@ import (
 
 	"sync/atomic"
 
+	"txconflict/internal/metrics"
 	"txconflict/internal/rng"
 )
 
@@ -30,7 +31,10 @@ const (
 )
 
 // txAbort is the panic value used to unwind an aborted transaction.
-type txAbort struct{ reason string }
+// The reason is the metrics taxonomy category — every unwind site
+// states which kind of conflict killed the attempt, so the metrics
+// plane and the trace layer attribute aborts without string parsing.
+type txAbort struct{ reason metrics.AbortReason }
 
 // undoEntry records a pre-image for eager in-place writes.
 type undoEntry struct {
@@ -82,6 +86,15 @@ type Tx struct {
 	// reuses its footprint buffers across pooled descriptors.
 	traced bool
 	tr     TxTrace
+
+	// mx is this worker's metrics shard (nil when the runtime has no
+	// metrics plane), latched per Atomic call like the tracer;
+	// blockStart is the first attempt's start (ns), the base of the
+	// committed-block latency observation; lastAbort is the taxonomy
+	// reason of the most recent aborted attempt.
+	mx         *metrics.Shard
+	blockStart int64
+	lastAbort  metrics.AbortReason
 
 	// Lazy mode: buffered write set.
 	writeIdx  []int
@@ -163,6 +176,11 @@ func (rt *Runtime) AtomicWorker(worker int, r *rng.Rand, fn func(tx *Tx) error) 
 	}
 	tx.rng = r
 	tx.attempts.Store(0)
+	tx.blockStart = 0
+	tx.mx = nil
+	if rt.metrics != nil {
+		tx.mx = rt.metrics.Shard(worker)
+	}
 	if tx.traced = rt.tracer != nil; tx.traced {
 		tx.beginTrace(worker)
 	}
@@ -183,6 +201,9 @@ func (rt *Runtime) AtomicWorker(worker int, r *rng.Rand, fn func(tx *Tx) error) 
 			rt.fallback.Lock()
 			tx.irrevocable.Store(true)
 			rt.Stats.Irrevocable.Add(1)
+			if tx.mx != nil {
+				tx.mx.Abort(metrics.AbortMaxRetries)
+			}
 			if tx.traced {
 				tx.tr.Irrevocable = true
 			}
@@ -196,7 +217,11 @@ func (rt *Runtime) AtomicWorker(worker int, r *rng.Rand, fn func(tx *Tx) error) 
 func (tx *Tx) reset() {
 	tx.pol = tx.rt.pol.Load()
 	tx.state.Store((tx.epoch() + 1) << stateEpochShift) // status = active
-	tx.startNanos.Store(time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	tx.startNanos.Store(now)
+	if tx.blockStart == 0 {
+		tx.blockStart = now
+	}
 	clear(tx.rv)
 	clear(tx.wvs)
 	tx.reads = tx.reads[:0]
@@ -227,8 +252,13 @@ func (tx *Tx) attempt(fn func(tx *Tx) error) (err error, aborted bool) {
 				tx.releaseToken()
 				panic(r)
 			}
+			tx.lastAbort = ab.reason
 			if tx.traced {
 				tx.noteAbort(ab.reason)
+			}
+			if tx.mx != nil {
+				tx.mx.ObserveAttempt(time.Now().UnixNano() - tx.startNanos.Load())
+				tx.mx.Abort(ab.reason)
 			}
 			tx.rollback()
 			aborted = true
@@ -242,6 +272,10 @@ func (tx *Tx) attempt(fn func(tx *Tx) error) (err error, aborted bool) {
 		}
 		tx.rollback()
 		tx.releaseToken()
+		if tx.mx != nil {
+			tx.mx.ObserveAttempt(time.Now().UnixNano() - tx.startNanos.Load())
+			tx.mx.Abort(metrics.AbortExplicit)
+		}
 		return err, false
 	}
 	if tx.traced {
@@ -250,7 +284,12 @@ func (tx *Tx) attempt(fn func(tx *Tx) error) (err error, aborted bool) {
 	tx.commit()
 	tx.releaseToken()
 	tx.rt.Stats.Commits.Add(1)
-	tx.rt.profileUpdate(float64(time.Now().UnixNano() - tx.startNanos.Load()))
+	now := time.Now().UnixNano()
+	tx.rt.profileUpdate(float64(now - tx.startNanos.Load()))
+	if tx.mx != nil {
+		tx.mx.ObserveAttempt(now - tx.startNanos.Load())
+		tx.mx.ObserveCommit(now - tx.blockStart)
+	}
 	return nil, false
 }
 
@@ -308,15 +347,16 @@ func (tx *Tx) rollback() {
 	tx.state.Add(1 << stateEpochShift)
 }
 
-// abort unwinds the current attempt.
-func (tx *Tx) abort(reason string) {
+// abort unwinds the current attempt, attributed to one taxonomy
+// reason.
+func (tx *Tx) abort(reason metrics.AbortReason) {
 	panic(txAbort{reason: reason})
 }
 
 // checkKilled aborts if a requestor killed this transaction.
 func (tx *Tx) checkKilled() {
 	if tx.killed() {
-		tx.abort("killed")
+		tx.abort(metrics.AbortKilled)
 	}
 }
 
@@ -340,13 +380,13 @@ func (tx *Tx) extend(s int) {
 		if l&1 == 1 {
 			if !tx.ownsLock(re.idx) {
 				tx.rt.Stats.SelfAborts.Add(1)
-				tx.abort("extend-locked")
+				tx.abort(metrics.AbortValidation)
 			}
 			continue
 		}
 		if l>>1 != re.ver {
 			tx.rt.Stats.SelfAborts.Add(1)
-			tx.abort("extend-version")
+			tx.abort(metrics.AbortValidation)
 		}
 	}
 	tx.rv[s] = c
@@ -527,7 +567,7 @@ func (tx *Tx) enterNoReturn() {
 	if st&stateStatusMask != statusActive ||
 		!tx.state.CompareAndSwap(st, st&^stateStatusMask|statusNoReturn) {
 		tx.rt.Stats.SelfAborts.Add(1)
-		tx.abort("killed-at-commit")
+		tx.abort(metrics.AbortKilled)
 	}
 }
 
@@ -538,13 +578,13 @@ func (tx *Tx) validateReads() {
 		if l&1 == 1 {
 			if !tx.ownsLock(re.idx) {
 				tx.rt.Stats.SelfAborts.Add(1)
-				tx.abort("commit-validation-locked")
+				tx.abort(metrics.AbortValidation)
 			}
 			continue
 		}
 		if l>>1 != re.ver {
 			tx.rt.Stats.SelfAborts.Add(1)
-			tx.abort("commit-validation-version")
+			tx.abort(metrics.AbortValidation)
 		}
 	}
 }
@@ -567,12 +607,29 @@ func (tx *Tx) commitEager() {
 		return
 	}
 	tx.enterNoReturn()
+	// Phase timers, 1-in-N sampled (metrics.Plane.SampleN): eager
+	// commits have no lock-acquisition or write-back phase — both
+	// happened at encounter time — so only validation and the
+	// clock-advance/release pair are attributed.
+	sampled := tx.mx != nil && tx.mx.Sample()
+	var t0 int64
+	if sampled {
+		t0 = time.Now().UnixNano()
+	}
 	tx.validateReads()
+	if sampled {
+		t1 := time.Now().UnixNano()
+		tx.mx.Phase(metrics.PhaseValidate, t1-t0)
+		t0 = t1
+	}
 	tx.stampStripes(func(i int) int { return tx.undo[i].idx }, len(tx.undo))
 	for _, u := range tx.undo {
 		m := &tx.rt.meta[u.idx]
 		m.owner.Store(nil)
 		m.lock.Store(tx.wvs[tx.rt.stripeOf(u.idx)] << 1)
+	}
+	if sampled {
+		tx.mx.Phase(metrics.PhaseClock, time.Now().UnixNano()-t0)
 	}
 	tx.undo = tx.undo[:0]
 	clear(tx.wvs)
@@ -607,13 +664,36 @@ func (tx *Tx) commitLazy() {
 		tx.commitLazyBatched()
 		return
 	}
+	// Phase timers, 1-in-N sampled. A conflict abort mid-acquisition
+	// simply discards the sample — the histograms only ever describe
+	// commits that reached each phase.
+	sampled := tx.mx != nil && tx.mx.Sample()
+	var t0 int64
+	if sampled {
+		t0 = time.Now().UnixNano()
+	}
 	for i, idx := range tx.writeIdx {
 		tx.lockCommit(idx)
 		tx.lockedUpTo = i + 1
 	}
+	if sampled {
+		t1 := time.Now().UnixNano()
+		tx.mx.Phase(metrics.PhaseLock, t1-t0)
+		t0 = t1
+	}
 	tx.enterNoReturn()
 	tx.validateReads()
+	if sampled {
+		t1 := time.Now().UnixNano()
+		tx.mx.Phase(metrics.PhaseValidate, t1-t0)
+		t0 = t1
+	}
 	tx.stampStripes(func(i int) int { return tx.writeIdx[i] }, len(tx.writeIdx))
+	if sampled {
+		t1 := time.Now().UnixNano()
+		tx.mx.Phase(metrics.PhaseClock, t1-t0)
+		t0 = t1
+	}
 	for _, idx := range tx.writeIdx {
 		tx.rt.words[idx].Store(tx.writeVals[idx])
 	}
@@ -621,6 +701,9 @@ func (tx *Tx) commitLazy() {
 		m := &tx.rt.meta[idx]
 		m.owner.Store(nil)
 		m.lock.Store(tx.wvs[tx.rt.stripeOf(idx)] << 1)
+	}
+	if sampled {
+		tx.mx.Phase(metrics.PhaseWriteBack, time.Now().UnixNano()-t0)
 	}
 	tx.lockedUpTo = 0
 	clear(tx.wvs)

@@ -2,6 +2,7 @@ package tune
 
 import (
 	"fmt"
+	"time"
 
 	"txconflict/internal/core"
 	"txconflict/internal/stm"
@@ -49,6 +50,22 @@ type Limits struct {
 	// commits is too thin to read a regime from and is skipped
 	// entirely.
 	MinWindowCommits uint64
+
+	// P99DegradeFactor and P99FlatTol bound the latency-backoff
+	// rule. The controller keeps an EWMA baseline of windowed commit
+	// p99 and throughput; when a window's p99 exceeds the baseline by
+	// more than the degrade factor while throughput stayed within the
+	// flat tolerance of its own baseline, some knob is buying tail
+	// latency without buying commits — the rule backs off (halve the
+	// group-commit lane if one is open, otherwise widen the grace
+	// budget via CleanupCost) and re-baselines. A throughput gain
+	// above the tolerance vetoes the rule: a tail that pays for
+	// itself in commits is the paper's trade, not a regression.
+	P99DegradeFactor, P99FlatTol float64
+
+	// CleanupCostMax caps the grace-budget widening actuator;
+	// CleanupCost doubles per firing up to this bound.
+	CleanupCostMax time.Duration
 }
 
 // DefaultLimits returns the thresholds used by -adaptive runs.
@@ -64,6 +81,9 @@ func DefaultLimits() Limits {
 		KVarHigh:            0.5,
 		KVarLow:             0.05,
 		MinWindowCommits:    50,
+		P99DegradeFactor:    1.5,
+		P99FlatTol:          0.10,
+		CleanupCostMax:      512 * time.Microsecond,
 	}
 }
 
@@ -71,13 +91,19 @@ func DefaultLimits() Limits {
 // keeps for its variance estimate.
 const kHistLen = 8
 
-// Controller is the pure decision half of the tuner: state is only
-// the short history of k readings it needs for the window-resize
-// rule. It is not safe for concurrent use; the Tuner serializes
-// calls.
+// Controller is the pure decision half of the tuner: state is the
+// short history of k readings the window-resize rule needs plus the
+// EWMA baselines the p99 backoff rule compares against. It is not
+// safe for concurrent use; the Tuner serializes calls.
 type Controller struct {
 	lim   Limits
 	kHist []float64
+
+	// p99Base and tputBase are EWMA baselines of windowed commit p99
+	// (ns) and throughput (commits/sec); 0 means unseeded. The p99
+	// rule resets both after firing so one regression is one
+	// decision, not one per window until the EWMA catches up.
+	p99Base, tputBase float64
 }
 
 // NewController returns a Controller with the given limits. Zero
@@ -114,6 +140,15 @@ func NewController(lim Limits) *Controller {
 	}
 	if lim.MinWindowCommits == 0 {
 		lim.MinWindowCommits = def.MinWindowCommits
+	}
+	if lim.P99DegradeFactor <= 1 {
+		lim.P99DegradeFactor = def.P99DegradeFactor
+	}
+	if lim.P99FlatTol <= 0 {
+		lim.P99FlatTol = def.P99FlatTol
+	}
+	if lim.CleanupCostMax <= 0 {
+		lim.CleanupCostMax = def.CleanupCostMax
 	}
 	return &Controller{lim: lim, kHist: make([]float64, 0, kHistLen)}
 }
@@ -158,19 +193,64 @@ func (c *Controller) Decide(w Window, kEst float64, lazy bool, cur stm.Policy) (
 	}
 
 	// Group-commit lane, lazy runtimes only.
+	laneChanged := false
 	if lazy {
 		gf := w.GraceFrac()
 		switch {
 		case p.CommitBatch == 0 && gf > c.lim.BatchOpenGraceFrac:
 			p.CommitBatch = c.lim.BatchSize
+			laneChanged = true
 			reasons = append(reasons, fmt.Sprintf(
 				"grace %.0f%% of tx time > %.0f%%: open group-commit lane (b=%d)",
 				gf*100, c.lim.BatchOpenGraceFrac*100, p.CommitBatch))
 		case p.CommitBatch > 0 && gf < c.lim.BatchCloseGraceFrac:
 			p.CommitBatch = 0
+			laneChanged = true
 			reasons = append(reasons, fmt.Sprintf(
 				"grace %.0f%% of tx time < %.0f%%: close group-commit lane",
 				gf*100, c.lim.BatchCloseGraceFrac*100))
+		}
+	}
+
+	// p99 latency backoff. Windows without histogram data (p99 = 0)
+	// leave the baselines untouched, and a window whose lane the
+	// grace rule just moved is skipped — the quantiles it carries
+	// were measured under the old lane setting.
+	if w.CommitP99Ns > 0 && !laneChanged {
+		tput := w.CommitsPerSec()
+		switch {
+		case c.p99Base == 0:
+			c.p99Base, c.tputBase = w.CommitP99Ns, tput
+		case w.CommitP99Ns > c.lim.P99DegradeFactor*c.p99Base &&
+			tput < c.tputBase*(1+c.lim.P99FlatTol):
+			// Tail blew out and commits did not: back off whatever is
+			// trading latency for batching, then re-baseline so one
+			// regression fires once.
+			if p.CommitBatch > 1 {
+				p.CommitBatch /= 2
+				reasons = append(reasons, fmt.Sprintf(
+					"commit p99 %.0fµs > %.1fx baseline %.0fµs with flat throughput: halve group-commit lane (b=%d)",
+					w.CommitP99Ns/1e3, c.lim.P99DegradeFactor, c.p99Base/1e3, p.CommitBatch))
+			} else {
+				cc := p.CleanupCost * 2
+				if cc <= 0 {
+					cc = 64 * time.Microsecond
+				}
+				if cc > c.lim.CleanupCostMax {
+					cc = c.lim.CleanupCostMax
+				}
+				if cc != p.CleanupCost {
+					p.CleanupCost = cc
+					reasons = append(reasons, fmt.Sprintf(
+						"commit p99 %.0fµs > %.1fx baseline %.0fµs with flat throughput: widen grace budget (cleanup=%s)",
+						w.CommitP99Ns/1e3, c.lim.P99DegradeFactor, c.p99Base/1e3, cc))
+				}
+			}
+			c.p99Base, c.tputBase = 0, 0
+		default:
+			const alpha = 0.3
+			c.p99Base += alpha * (w.CommitP99Ns - c.p99Base)
+			c.tputBase += alpha * (tput - c.tputBase)
 		}
 	}
 

@@ -16,14 +16,20 @@
 // Three pieces, smallest first:
 //
 //   - Sampler (this file): an stm.Tracer that folds every completed
-//     transaction into cumulative atomic counters, teeing to an
-//     optional downstream tracer (trace.Recorder keeps working behind
-//     it). Counters() snapshots; Counters.Sub turns two snapshots
-//     into a Window of rates.
+//     transaction into cumulative atomic counters plus a commit-latency
+//     histogram, teeing to an optional downstream tracer
+//     (trace.Recorder keeps working behind it). Counters() snapshots;
+//     Counters.Sub turns two snapshots into a Window of rates, and the
+//     histogram delta gives the window its CommitP50Ns/CommitP99Ns.
 //   - Controller (controller.go): pure decision logic. Given a
 //     Window, the current k estimate and the current Policy, Decide
 //     returns the next Policy plus human-readable reasons — or no
-//     change. All thresholds live in Limits.
+//     change. All thresholds live in Limits. The p99 rule is the
+//     tail-aware half: when windowed commit p99 degrades against its
+//     EWMA baseline while throughput stays flat, it backs off the
+//     group-commit lane (or widens the grace budget) — latency pain
+//     with no throughput payoff means the batch is queueing, not
+//     amortizing.
 //   - Tuner (tuner.go): the loop. A goroutine (or an explicit Step
 //     call) snapshots the Sampler, asks the Controller, applies the
 //     result via Runtime.SetPolicy, and appends to a bounded decision
@@ -34,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"txconflict/internal/metrics"
 	"txconflict/internal/stm"
 )
 
@@ -42,6 +49,15 @@ import (
 // atomic add per field per completed transaction, no allocation, no
 // locks. Install it as Config.Trace (optionally wrapping the tracer
 // you already had) and snapshot it from the control loop.
+//
+// Beyond the scalar counters, the Sampler folds every committed
+// block's duration into a log-bucketed latency histogram, so the
+// Tuner can difference two snapshots and read windowed commit
+// quantiles — the p99 signal the Controller's latency-backoff rule
+// steers by. Rates alone cannot see a tail collapse: a batching knob
+// can hold throughput flat while pushing p99 out an order of
+// magnitude, which is exactly the regression the histogram exists to
+// catch.
 type Sampler struct {
 	next stm.Tracer // optional downstream tracer (tee)
 
@@ -53,6 +69,8 @@ type Sampler struct {
 	irrevocable   atomic.Uint64
 	graceWaitNs   atomic.Int64
 	durNs         atomic.Int64
+
+	commitLat metrics.Histogram
 }
 
 // NewSampler returns a Sampler teeing to next (nil for none).
@@ -62,6 +80,7 @@ func NewSampler(next stm.Tracer) *Sampler { return &Sampler{next: next} }
 func (s *Sampler) TraceTx(t *stm.TxTrace) {
 	if t.Committed {
 		s.commits.Add(1)
+		s.commitLat.Observe(t.DurNs)
 	} else {
 		s.userAborts.Add(1)
 	}
@@ -124,11 +143,25 @@ func (s *Sampler) Counters() Counters {
 	}
 }
 
+// Latency snapshots the cumulative commit-latency histogram. Like
+// Counters, two snapshots difference (HistSnapshot.Sub) into one
+// window's distribution.
+func (s *Sampler) Latency() metrics.HistSnapshot {
+	return s.commitLat.Snapshot()
+}
+
 // Window is the delta between two Counters snapshots — one control
-// interval of observed behaviour, plus the wall time it covers.
+// interval of observed behaviour, plus the wall time it covers and
+// the commit-latency quantiles of the blocks that committed inside
+// it (0 when the window's histogram delta is empty, e.g. windows
+// built from bare counters).
 type Window struct {
 	Counters
 	Elapsed time.Duration
+
+	// CommitP50Ns and CommitP99Ns are windowed commit-latency
+	// quantiles in nanoseconds, from the Sampler's histogram delta.
+	CommitP50Ns, CommitP99Ns float64
 }
 
 // Sub returns the window from prev to c.

@@ -62,6 +62,32 @@ func TestSamplerCountersAndTee(t *testing.T) {
 	}
 }
 
+// TestSamplerLatencyHistogram checks the commit-latency feed: only
+// commits are observed, and two snapshots difference into a windowed
+// distribution with quantiles near the fed durations.
+func TestSamplerLatencyHistogram(t *testing.T) {
+	s := NewSampler(nil)
+	feed(s, 10, 0, 1000)
+	s.TraceTx(&stm.TxTrace{Committed: false, DurNs: 1 << 40}) // abort: not a commit latency
+	lat := s.Latency()
+	if lat.Count != 10 {
+		t.Fatalf("latency count = %d, want 10 (aborts must not observe)", lat.Count)
+	}
+	if q := lat.Quantile(0.99); q < 1000*(1-1.0/16) || q > 1000*(1+1.0/16) {
+		t.Fatalf("p99 = %v, want ~1000 within bucket error", q)
+	}
+
+	prev := lat
+	feed(s, 5, 0, 8000)
+	d := s.Latency().Sub(prev)
+	if d.Count != 5 {
+		t.Fatalf("window delta count = %d, want 5", d.Count)
+	}
+	if q := d.Quantile(0.5); q < 8000*(1-1.0/16) || q > 8000*(1+1.0/16) {
+		t.Fatalf("windowed p50 = %v, want ~8000", q)
+	}
+}
+
 func TestSamplerWithoutTee(t *testing.T) {
 	s := NewSampler(nil)
 	s.TraceTx(&stm.TxTrace{Committed: true})
@@ -218,6 +244,126 @@ func TestControllerKWindowResize(t *testing.T) {
 	}
 	if p.KWindow != DefaultLimits().KWindowMin {
 		t.Fatalf("KWindow = %d, shrank below the floor", p.KWindow)
+	}
+}
+
+// latWindow is an activeWindow carrying synthetic commit-latency
+// quantiles, with grace fraction and k pinned inside both hysteresis
+// bands so only the p99 rule can fire.
+func latWindow(p99 float64, commits uint64) Window {
+	w := activeWindow(0.1)
+	w.Commits = commits
+	w.CommitP50Ns = p99 / 2
+	w.CommitP99Ns = p99
+	return w
+}
+
+func TestControllerP99Backoff(t *testing.T) {
+	const kMid = 2.35 // inside the KLow..KHigh band: no regime flip
+
+	// Degraded tail with flat throughput halves an open lane.
+	c := NewController(Limits{})
+	cur := basePolicy()
+	cur.CommitBatch = 8
+	for i := 0; i < 3; i++ { // seed the baseline, then hold steady
+		p, reasons := c.Decide(latWindow(100_000, 1000), kMid, true, cur)
+		if len(reasons) != 0 || p != cur {
+			t.Fatalf("stable window %d decided: %v", i, reasons)
+		}
+	}
+	p, reasons := c.Decide(latWindow(400_000, 1000), kMid, true, cur)
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "p99") {
+		t.Fatalf("degraded window reasons = %v, want one p99 reason", reasons)
+	}
+	if p.CommitBatch != 4 {
+		t.Fatalf("CommitBatch = %d after p99 backoff, want 4", p.CommitBatch)
+	}
+	// The rule re-baselined: the same degraded window seeds a fresh
+	// baseline instead of firing again.
+	if _, reasons := c.Decide(latWindow(400_000, 1000), kMid, true, p); len(reasons) != 0 {
+		t.Fatalf("re-baseline failed, fired twice: %v", reasons)
+	}
+
+	// A throughput gain above the flat tolerance vetoes the rule:
+	// the tail is paying for itself in commits.
+	c = NewController(Limits{})
+	c.Decide(latWindow(100_000, 1000), kMid, true, cur)
+	p, reasons = c.Decide(latWindow(400_000, 2000), kMid, true, cur)
+	if len(reasons) != 0 || p != cur {
+		t.Fatalf("p99 rule fired despite 2x throughput: %v", reasons)
+	}
+
+	// Without an open lane the actuator is the grace budget: double
+	// CleanupCost from the 64µs floor, capped at CleanupCostMax.
+	c = NewController(Limits{})
+	unbatched := basePolicy()
+	c.Decide(latWindow(100_000, 1000), kMid, true, unbatched)
+	p, reasons = c.Decide(latWindow(400_000, 1000), kMid, true, unbatched)
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "p99") {
+		t.Fatalf("unbatched degraded window reasons = %v", reasons)
+	}
+	if p.CleanupCost != 64*time.Microsecond {
+		t.Fatalf("CleanupCost = %v, want 64µs floor", p.CleanupCost)
+	}
+	c = NewController(Limits{})
+	unbatched.CleanupCost = 400 * time.Microsecond
+	c.Decide(latWindow(100_000, 1000), kMid, true, unbatched)
+	p, _ = c.Decide(latWindow(400_000, 1000), kMid, true, unbatched)
+	if p.CleanupCost != DefaultLimits().CleanupCostMax {
+		t.Fatalf("CleanupCost = %v, want cap %v", p.CleanupCost, DefaultLimits().CleanupCostMax)
+	}
+	// Already at the cap: nothing left to actuate, no decision.
+	c = NewController(Limits{})
+	unbatched.CleanupCost = DefaultLimits().CleanupCostMax
+	c.Decide(latWindow(100_000, 1000), kMid, true, unbatched)
+	if _, reasons := c.Decide(latWindow(400_000, 1000), kMid, true, unbatched); len(reasons) != 0 {
+		t.Fatalf("decided at the actuator cap: %v", reasons)
+	}
+
+	// A window whose quantiles are zero (no histogram feed) must
+	// neither fire nor disturb the baselines.
+	c = NewController(Limits{})
+	c.Decide(latWindow(100_000, 1000), kMid, true, cur)
+	c.Decide(activeWindow(0.1), kMid, true, cur) // quantile-free window
+	p, reasons = c.Decide(latWindow(400_000, 1000), kMid, true, cur)
+	if len(reasons) != 1 || p.CommitBatch != 4 {
+		t.Fatalf("quantile-free window disturbed the baseline: %v", reasons)
+	}
+}
+
+// TestTunerStepP99Decision drives the loop end to end: the Tuner
+// differences the Sampler's histogram, the Controller sees the
+// windowed p99 collapse, and the runtime's policy lane is halved. A
+// huge flat tolerance removes the wall-clock-dependent throughput
+// veto so the test is deterministic.
+func TestTunerStepP99Decision(t *testing.T) {
+	s := NewSampler(nil)
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = true
+	cfg.Trace = s
+	cfg.KWindow = 64
+	cfg.CommitBatch = 8
+	rt := stm.New(64, cfg)
+	tn := New(rt, s, Limits{P99FlatTol: 1e9}, time.Hour)
+
+	feed(s, 1000, 100, 1000) // gf=0.1: lane band holds; seeds p99 baseline
+	if tn.Step() {
+		t.Fatal("baseline window produced a decision")
+	}
+	feed(s, 1000, 100, 1000)
+	if tn.Step() {
+		t.Fatal("steady window produced a decision")
+	}
+	feed(s, 1000, 1600, 16000) // 16x tail blowout, same grace fraction
+	if !tn.Step() {
+		t.Fatal("degraded window produced no decision")
+	}
+	if got := rt.Policy().CommitBatch; got != 4 {
+		t.Fatalf("CommitBatch = %d after p99 decision, want 4", got)
+	}
+	ds := tn.Decisions()
+	if len(ds) != 1 || !strings.Contains(strings.Join(ds[0].Reasons, " "), "p99") {
+		t.Fatalf("decision log = %+v, want one p99 reason", ds)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"txconflict/internal/metrics"
 	"txconflict/internal/stm"
 )
 
@@ -43,6 +44,7 @@ type Tuner struct {
 
 	mu        sync.Mutex
 	prev      Counters
+	prevLat   metrics.HistSnapshot
 	prevAt    time.Time
 	decisions []Decision
 	seq       uint64
@@ -67,6 +69,7 @@ func New(rt *stm.Runtime, s *Sampler, lim Limits, interval time.Duration) *Tuner
 		ctl:      NewController(lim),
 		lazy:     rt.Config().Lazy,
 		prev:     s.Counters(),
+		prevLat:  s.Latency(),
 		prevAt:   time.Now(),
 		interval: interval,
 	}
@@ -120,9 +123,36 @@ func (t *Tuner) Step() bool {
 	defer t.mu.Unlock()
 	now := time.Now()
 	cur := t.sampler.Counters()
+	lat := t.sampler.Latency()
 	w := cur.Sub(t.prev, now.Sub(t.prevAt))
+	d := lat.Sub(t.prevLat)
+	w.CommitP50Ns = d.Quantile(0.50)
+	w.CommitP99Ns = d.Quantile(0.99)
 	t.prev = cur
+	t.prevLat = lat
 	t.prevAt = now
+	if t.manual {
+		return false
+	}
+	p, reasons := t.ctl.Decide(w, t.rt.KEstimate(), t.lazy, t.rt.Policy())
+	if len(reasons) == 0 {
+		return false
+	}
+	t.rt.SetPolicy(p)
+	t.record(p.String(), reasons)
+	return true
+}
+
+// StepWindow runs one control iteration over a caller-supplied
+// window instead of differencing the sampler: deterministic replay.
+// Harnesses use it to drive the controller through a canned sequence
+// (a latency-regression drill, a recorded production trace) with the
+// tuner's real policy application and decision log, free of wall
+// clock noise. It does not disturb the sampler snapshot the periodic
+// Step differencing uses.
+func (t *Tuner) StepWindow(w Window) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.manual {
 		return false
 	}

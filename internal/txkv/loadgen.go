@@ -1,7 +1,10 @@
 package txkv
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -93,7 +96,9 @@ func (w *Workload) Run(newClient func(u int, r *rng.Rand) Client, g GenConfig) (
 		users[u] = usr
 		client := newClient(u, rc)
 		wg.Add(1)
-		go func() {
+		labels := pprof.Labels("subsystem", "txkv-loadgen",
+			"workload", w.name, "txkv_user", strconv.Itoa(u))
+		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer wg.Done()
 			batch := make([]Op, g.Batch)
 			for {
@@ -125,7 +130,7 @@ func (w *Workload) Run(newClient func(u int, r *rng.Rand) Client, g GenConfig) (
 				}
 				res.PerUser[u] += uint64(len(batch))
 			}
-		}()
+		})
 	}
 	start := time.Now()
 	time.Sleep(g.Duration)

@@ -1,0 +1,243 @@
+package txkv
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"txconflict/internal/metrics"
+	"txconflict/internal/rng"
+	"txconflict/internal/stm"
+)
+
+// promFamilies is the exposition surface /metrics promises: the four
+// latency summaries, the abort taxonomy, the sampled phase timers,
+// and the runtime/control-plane gauges. smoke-txkvd and the churn
+// test both fail if any family goes missing.
+var promFamilies = []string{
+	"txstm_attempt_latency_seconds",
+	"txstm_commit_latency_seconds",
+	"txstm_grace_wait_seconds",
+	"txstm_combiner_drain_seconds",
+	"txstm_aborted_attempts_total",
+	"txstm_commit_phase_seconds_total",
+	"txstm_commit_phase_samples_total",
+	"txstm_phase_sample_interval",
+	"txstm_commits_total",
+	"txstm_aborts_total",
+	"txkv_store_keys",
+	"txstm_policy_swaps_total",
+	"txstm_k_estimate",
+}
+
+// checkExposition parses a Prometheus text-format (0.0.4) body and
+// fails the test on any structural violation: a sample without a
+// preceding TYPE line for its family, an unparsable value, or a
+// missing required family. It returns the set of family names seen.
+func checkExposition(t *testing.T, body string) map[string]string {
+	t.Helper()
+	families := map[string]string{} // name -> type
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				families[parts[2]] = parts[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if j := strings.LastIndexByte(line, '}'); j < i {
+				t.Fatalf("line %d: unbalanced labels in %q", ln+1, line)
+			}
+			name = name[:i]
+		} else if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_count"), "_sum")
+		if _, ok := families[base]; !ok {
+			t.Fatalf("line %d: sample %q precedes its TYPE line", ln+1, name)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, val, err)
+		}
+	}
+	for _, f := range promFamilies {
+		if _, ok := families[f]; !ok {
+			t.Errorf("exposition missing family %q", f)
+		}
+	}
+	return families
+}
+
+// scrape fetches /metrics and returns the body, checking status and
+// content type.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestMetricsExposition drives real traffic through a metrics-enabled
+// server and validates the full /metrics contract: parseable 0.0.4
+// exposition, every promised family, every abort-reason label, the
+// quantile ladder on the commit-latency summary, and agreement
+// between the exposed commit counter and the runtime's ground truth.
+func TestMetricsExposition(t *testing.T) {
+	w, err := ByName("document", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = true
+	cfg.CommitBatch = 4
+	cfg.Metrics = metrics.NewPlane(4, 4)
+	store := w.NewStore(Config{STM: cfg})
+	sv := NewServer(store, 4, 7)
+	defer sv.Close()
+	ts := httptest.NewServer(sv)
+	defer ts.Close()
+
+	if _, err := w.RunLocal(store, GenConfig{
+		Users: 4, Batch: 16, Duration: 60 * time.Millisecond, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	body := scrape(t, ts.URL)
+	checkExposition(t, body)
+	for r := 0; r < metrics.NumAbortReasons; r++ {
+		want := `reason="` + metrics.AbortReason(r).String() + `"`
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing abort series %s", want)
+		}
+	}
+	for _, q := range []string{`quantile="0.5"`, `quantile="0.9"`, `quantile="0.99"`, `quantile="0.999"`} {
+		if !strings.Contains(body, "txstm_commit_latency_seconds{"+q+"}") {
+			t.Errorf("commit latency summary missing %s", q)
+		}
+	}
+	// The exposed histogram count matches the runtime counter (the
+	// store is quiesced between RunLocal and the scrape).
+	commits := store.Runtime().Stats.Commits.Load()
+	want := "txstm_commit_latency_seconds_count " + strconv.FormatUint(commits, 10)
+	if !strings.Contains(body, want) {
+		t.Errorf("exposition lacks %q (runtime commits = %d)", want, commits)
+	}
+	if commits == 0 {
+		t.Fatal("no commits recorded — the traffic phase measured nothing")
+	}
+}
+
+// TestMetricsScrapeChurn is the -race exercise for the read path:
+// concurrent /metrics scrapes while live traffic mutates the plane
+// and a policy churner swaps the commit lane underneath both. Every
+// scrape must still parse as well-formed exposition with the full
+// family set.
+func TestMetricsScrapeChurn(t *testing.T) {
+	w, err := ByName("hotspot-counter", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stm.DefaultConfig()
+	cfg.Lazy = true
+	cfg.CommitBatch = 4
+	cfg.Metrics = metrics.NewPlane(4, 4)
+	store := w.NewStore(Config{STM: cfg})
+	sv := NewServer(store, 4, 11)
+	defer sv.Close()
+	ts := httptest.NewServer(sv)
+	defer ts.Close()
+
+	d := 120 * time.Millisecond
+	if testing.Short() {
+		d = 40 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Policy churner: flips the group-commit lane and the grace
+	// budget, so scrapes race real SetPolicy swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rt := store.Runtime()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := rt.Policy()
+			if i%2 == 0 {
+				p.CommitBatch = 0
+			} else {
+				p.CommitBatch = 4
+			}
+			rt.SetPolicy(p)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Scrapers: parse every body in full.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				checkExposition(t, scrape(t, ts.URL))
+			}
+		}()
+	}
+
+	// Live traffic over the wire for the duration.
+	res, err := w.Run(func(u int, r *rng.Rand) Client {
+		return &HTTPClient{Base: ts.URL}
+	}, GenConfig{Users: 4, Batch: 16, Duration: d, Seed: 5})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations served during churn")
+	}
+	if err := store.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"txconflict/internal/metrics"
 	"txconflict/internal/stm"
 )
 
@@ -21,6 +22,10 @@ type PerfCell struct {
 	Aborts     uint64  `json:"aborts"`
 	Batches    uint64  `json:"batches,omitempty"`
 	Folded     uint64  `json:"foldedCommits,omitempty"`
+	// Commit-latency quantiles from the cell's metrics plane, so the
+	// serving-stack trajectory records the tail alongside ops/sec.
+	CommitP50Ns float64 `json:"p50Ns,omitempty"`
+	CommitP99Ns float64 `json:"p99Ns,omitempty"`
 }
 
 // PerfReport is the BENCH_txkv.json payload — the serving stack's
@@ -111,7 +116,10 @@ func Perf(cfg PerfConfig) (*PerfReport, error) {
 					return nil, err
 				}
 				runtime.GOMAXPROCS(procs)
-				s := w.NewStore(Config{STM: mode.cfg, EscrowCounters: mode.escrow})
+				// Per-cell plane: quantiles never bleed across cells.
+				sCfg := mode.cfg
+				sCfg.Metrics = metrics.NewPlane(procs, 0)
+				s := w.NewStore(Config{STM: sCfg, EscrowCounters: mode.escrow})
 				res, err := w.RunLocal(s, GenConfig{
 					Users:    procs,
 					Batch:    rep.Batch,
@@ -123,7 +131,7 @@ func Perf(cfg PerfConfig) (*PerfReport, error) {
 						wname, mode.name, procs, err)
 				}
 				snap := s.Runtime().Stats.Snapshot()
-				rep.Cells = append(rep.Cells, PerfCell{
+				cell := PerfCell{
 					Workload:   wname,
 					Mode:       mode.name,
 					GOMAXPROCS: procs,
@@ -134,7 +142,13 @@ func Perf(cfg PerfConfig) (*PerfReport, error) {
 					Aborts:     snap["aborts"],
 					Batches:    snap["batches"],
 					Folded:     snap["foldedCommits"],
-				})
+				}
+				if p := s.Runtime().Metrics(); p != nil {
+					ps := p.Snapshot()
+					q := ps.Commit.Summary()
+					cell.CommitP50Ns, cell.CommitP99Ns = q.P50, q.P99
+				}
+				rep.Cells = append(rep.Cells, cell)
 			}
 		}
 	}

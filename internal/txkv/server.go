@@ -2,15 +2,20 @@ package txkv
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"txconflict/internal/core"
+	"txconflict/internal/metrics"
 	"txconflict/internal/rng"
 	"txconflict/internal/strategy"
 	"txconflict/internal/tune"
@@ -57,7 +62,11 @@ func NewServer(store *Store, workers int, seed uint64) *Server {
 		w := w
 		r := root.Split()
 		sv.wg.Add(1)
-		go func() {
+		// Profiler labels make the pool legible in pprof output: CPU
+		// samples split by worker identity instead of blurring into
+		// one anonymous goroutine set.
+		labels := pprof.Labels("subsystem", "txkv-pool", "txkv_worker", strconv.Itoa(w))
+		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer sv.wg.Done()
 			for {
 				select {
@@ -67,7 +76,7 @@ func NewServer(store *Store, workers int, seed uint64) *Server {
 					j.reply <- sv.store.ApplyBatch(w, r, j.ops)
 				}
 			}
-		}()
+		})
 	}
 	return sv
 }
@@ -129,11 +138,15 @@ type batchResponse struct {
 // ServeHTTP implements the front-end API:
 //
 //	POST /v1/batch   {"ops":[{"op":"put","key":1,"val":2},...]}
-//	GET  /v1/stats   committed size + live runtime counters and policy
+//	GET  /v1/stats   committed size + live runtime counters, policy,
+//	                 and (metrics plane attached) latency quantiles +
+//	                 abort taxonomy
 //	GET  /v1/policy  current policy + tuner decision log
 //	POST /v1/policy  manual policy override (suspends the tuner) or
 //	                 {"resume":true} to hand control back
 //	GET  /v1/check   structural invariants (quiescent stores only)
+//	GET  /metrics    Prometheus text exposition (histogram summaries,
+//	                 abort taxonomy, commit-phase timers, stm counters)
 //	GET  /healthz    liveness
 func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
@@ -150,7 +163,14 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			"policySwaps": rt.PolicySwaps(),
 			"adaptive":    sv.tuner != nil,
 		}
+		if p := rt.Metrics(); p != nil {
+			snap := p.Snapshot()
+			st["latency"] = snap.LatencySummaries()
+			st["abortReasons"] = snap.AbortCounts()
+		}
 		writeJSON(w, st)
+	case "/metrics":
+		sv.handleMetrics(w, r)
 	case "/v1/policy":
 		sv.handlePolicy(w, r)
 	case "/v1/check":
@@ -164,6 +184,56 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// handleMetrics renders the Prometheus text exposition: the metrics
+// plane's summaries/taxonomy/phase timers when one is attached, the
+// reflection-generated stm.Stats counters always, plus store-level
+// gauges. Families are emitted in a fixed order so successive scrapes
+// diff cleanly.
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	rt := sv.store.Runtime()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	if p := rt.Metrics(); p != nil {
+		snap := p.Snapshot()
+		if err := snap.WriteProm(&buf, "txstm"); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	// Every Stats counter rides along under its snake_case name; the
+	// reflection snapshot keeps this complete as Stats grows fields.
+	stats := rt.Stats.Snapshot()
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := "txstm_" + metrics.SnakeCase(k) + "_total"
+		if err := metrics.CounterProm(&buf, name, "counter",
+			"stm.Stats."+k+" runtime counter.", stats[k]); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	pw := metrics.NewPromWriter(&buf)
+	pw.Family("txkv_store_keys", "gauge", "Committed key count of the served store.")
+	pw.Uint("txkv_store_keys", nil, uint64(sv.store.Len()))
+	pw.Family("txstm_policy_swaps_total", "counter", "SetPolicy applications on the served runtime.")
+	pw.Uint("txstm_policy_swaps_total", nil, rt.PolicySwaps())
+	pw.Family("txstm_k_estimate", "gauge", "Windowed conflict chain-length estimate.")
+	pw.Sample("txstm_k_estimate", nil, rt.KEstimate())
+	if err := pw.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(buf.Bytes())
 }
 
 func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {

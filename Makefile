@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-short race-adaptive scenario-parity smoke-txkv smoke-txkvd bench bench-stm bench-adaptive bench-batch bench-fold bench-fleet bench-txkv bench-latency trace-demo fuzz-trace tidy
+.PHONY: all build vet test race-short race-adaptive scenario-parity smoke-txkv smoke-txkvd bench bench-stm bench-adaptive bench-batch bench-fold bench-fleet bench-txkv bench-latency bench-trace trace-demo fuzz-trace tidy
 
 all: build vet test
 
@@ -118,24 +118,42 @@ bench-latency:
 	$(GO) run ./cmd/stmbench -perf -out BENCH_stm.json
 	$(GO) run ./cmd/txkvd -perf -out BENCH_txkv.json
 
-# The Section 1 profile-to-simulation loop, end to end: record a
-# short contended hotspot run on the STM runtime, replay the
-# identical footprints on the HTM simulator and on a fresh STM arena,
-# and diff recorded vs simulated vs re-measured behaviour. CI runs
-# this and uploads $(TRACE_FILE) as a build artifact.
-TRACE_FILE ?= demo.trace
-trace-demo:
-	$(GO) run ./cmd/stmbench -scenario hotspot -duration 200ms -record $(TRACE_FILE)
-	$(GO) run ./cmd/txsim -replay $(TRACE_FILE) -threads 1,2,4 -cycles 300000
-	$(GO) run ./cmd/stmbench -replay $(TRACE_FILE) -goroutines 1,2 -duration 100ms
-	$(GO) run ./cmd/stmbench -fidelity $(TRACE_FILE) -duration 100ms
+# Trace encode/decode perf: the traceSweep section (bytes/record and
+# ns/record for JSONL vs the binary container on a 10k-record hotspot
+# capture, plus the compression ratio) folded into BENCH_stm.json. CI
+# runs this as a non-blocking step and uploads the snapshot.
+bench-trace:
+	$(GO) run ./cmd/stmbench -perf -tracesweep -out BENCH_stm.json
 
-# Fuzz the trace persistence format: refresh the recorded seed under
-# internal/trace/testdata, then fuzz Load — corrupt or truncated
-# inputs must error, never panic or silently drop records.
+# The Section 1 profile-to-simulation loop, end to end, on the binary
+# container: record a short contended hotspot run on the STM runtime
+# as a .btrace, convert it to JSONL (exercising the cross-format
+# streaming path), replay the identical footprints on the HTM
+# simulator and on a fresh STM arena from the binary file, diff
+# recorded vs simulated vs re-measured behaviour, then stream a 10⁶-
+# record synthetic trace through the block writer and replay an
+# index-spaced sample of it — all under the race detector. CI runs
+# this and uploads both trace artifacts.
+TRACE_FILE ?= demo.btrace
+TRACE_JSONL ?= demo.trace
+TRACE_BIG ?= demo-big.btrace
+trace-demo:
+	$(GO) run -race ./cmd/stmbench -scenario hotspot -duration 200ms -record $(TRACE_FILE)
+	$(GO) run -race ./cmd/stmbench -convert $(TRACE_FILE) -out $(TRACE_JSONL)
+	$(GO) run -race ./cmd/txsim -replay $(TRACE_FILE) -threads 1,2,4 -cycles 300000
+	$(GO) run -race ./cmd/stmbench -replay $(TRACE_FILE) -goroutines 1,2 -duration 100ms
+	$(GO) run -race ./cmd/stmbench -fidelity $(TRACE_FILE) -duration 100ms
+	$(GO) run -race ./cmd/stmbench -synth 1000000 -record $(TRACE_BIG)
+	$(GO) run -race ./cmd/txsim -replay $(TRACE_BIG) -threads 2 -cycles 200000
+
+# Fuzz both trace persistence formats: refresh the recorded seed under
+# internal/trace/testdata, then fuzz Load on JSONL and on the binary
+# container — corrupt or truncated inputs must error, never panic,
+# never over-allocate, never silently drop records.
 fuzz-trace:
 	$(GO) run ./cmd/stmbench -scenario hotspot -duration 50ms -goroutines 2 -record internal/trace/testdata/fuzz-seed.trace
-	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 20s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz 'FuzzLoad$$' -fuzztime 20s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzLoadBinary -fuzztime 20s ./internal/trace/
 
 tidy:
 	$(GO) mod tidy

@@ -23,9 +23,16 @@
 // Trace capture and replay (internal/trace — the Section 1
 // profile-to-simulation loop):
 //
-//	stmbench -scenario hotspot -record run.trace   # record a real run
-//	stmbench -replay run.trace                     # replay it as a scenario
-//	stmbench -fidelity run.trace                   # recorded vs sim vs replayed
+//	stmbench -scenario hotspot -record run.btrace  # record a real run (binary container)
+//	stmbench -replay run.btrace                    # replay it as a scenario
+//	stmbench -fidelity run.btrace                  # recorded vs sim vs replayed
+//	stmbench -convert run.btrace -out run.trace    # binary <-> JSONL, streaming
+//	stmbench -synth 1000000 -record big.btrace     # stream a synthetic trace to disk
+//	stmbench -perf -tracesweep -out BENCH_stm.json # format size/codec sweep section
+//
+// Both trace formats load everywhere (-replay/-fidelity/-convert
+// auto-detect by content); the .btrace extension selects the binary
+// container on the writing side.
 package main
 
 import (
@@ -73,9 +80,12 @@ func main() {
 		perf     = flag.Bool("perf", false, "emit the JSON perf snapshot (commits/sec at 1/4/8 procs plus the per-scenario sweep)")
 		fleet    = flag.Bool("fleet", false, "run the scenario x shards x batch perf matrix and append machine-stamped entries to -out (instead of overwriting)")
 		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
-		record   = flag.String("record", "", "record a trace of the scenario run to this file (see internal/trace)")
-		replay   = flag.String("replay", "", "replay a recorded trace file as the benchmark scenario")
+		record   = flag.String("record", "", "record a trace of the scenario run to this file (.btrace = binary container; see internal/trace)")
+		replay   = flag.String("replay", "", "replay a recorded trace file as the benchmark scenario (either format; large traces are index-sampled)")
 		fidelity = flag.String("fidelity", "", "emit the sim-vs-real fidelity report for a recorded trace file")
+		convert  = flag.String("convert", "", "convert the trace file to the format of -out (JSONL <-> binary, streaming) and exit")
+		synth    = flag.Int("synth", 0, "stream this many synthetic records to the -record path and exit (streaming-writer soak)")
+		traceswp = flag.Bool("tracesweep", false, "with -perf, add the trace-format size/codec sweep section (traceSweep)")
 	)
 	flag.Parse()
 
@@ -99,6 +109,23 @@ func main() {
 	// folds only in the batched cells.
 	if err := cliutil.CheckRequires("fold", *fold, *batch > 0 || *fleet, "-batch > 0 (folding happens in the group-commit combiner)"); err != nil {
 		cliutil.Fatal("stmbench", err)
+	}
+	if err := cliutil.CheckNonNegative("synth", *synth); err != nil {
+		cliutil.Fatal("stmbench", err)
+	}
+	if err := cliutil.CheckRequires("tracesweep", *traceswp, *perf, "-perf (the sweep is a section of the perf snapshot)"); err != nil {
+		cliutil.Fatal("stmbench", err)
+	}
+	if err := cliutil.CheckRequires("synth", *synth > 0, *record != "", "-record <path> (the synthetic stream needs a destination)"); err != nil {
+		cliutil.Fatal("stmbench", err)
+	}
+	if err := cliutil.CheckRequires("convert", *convert != "", *out != "", "-out <path> (the destination format comes from its extension)"); err != nil {
+		cliutil.Fatal("stmbench", err)
+	}
+
+	if *convert != "" {
+		runConvert(*convert, *out)
+		return
 	}
 
 	sel := *scen
@@ -163,6 +190,10 @@ func main() {
 		runFidelity(*fidelity, cfg)
 		return
 	}
+	if *synth > 0 {
+		runSynth(*synth, *record, maxLevel(cfg.Goroutines), *seed)
+		return
+	}
 	if *record != "" {
 		runRecord(sel, *record, cfg)
 		return
@@ -173,6 +204,7 @@ func main() {
 	}
 	if *perf {
 		cfg.Adaptive = *adaptive
+		cfg.TraceSweep = *traceswp
 		runPerf(sel, cfg, *levels != "", *out)
 		return
 	}
@@ -247,12 +279,18 @@ func maxLevel(levels []int) int {
 	return m
 }
 
-// loadReplay loads a recorded trace, registers its replay in the
-// scenario catalog (as "replay:<filename>") and its profiled
-// length/think distributions in the dist catalog, and returns the
-// registered scenario name.
+// replayBudget caps how many records -replay materializes: beyond
+// it, trace.LoadSample keeps an evenly spaced subset (via the binary
+// index where available), so replaying a 10⁸-record capture stays
+// bounded in memory.
+const replayBudget = 65536
+
+// loadReplay loads a recorded trace (sampling past replayBudget),
+// registers its replay in the scenario catalog (as
+// "replay:<filename>") and its profiled length/think distributions in
+// the dist catalog, and returns the registered scenario name.
 func loadReplay(path string) string {
-	tr, err := trace.Load(path)
+	tr, err := trace.LoadSample(path, replayBudget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stmbench:", err)
 		os.Exit(2)
@@ -266,9 +304,87 @@ func loadReplay(path string) string {
 		fmt.Fprintln(os.Stderr, "stmbench:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("replaying %s: scenario %q (%d committed records; -dist trace:%s -mu 0 for its raw lengths)\n",
-		path, name, tr.Commits(), filepath.Base(path))
+	if tr.Sampled > 0 {
+		fmt.Printf("replaying %s: scenario %q (%d of %d records, index-sampled; -dist trace:%s -mu 0 for its raw lengths)\n",
+			path, name, len(tr.Records), tr.Sampled, filepath.Base(path))
+	} else {
+		fmt.Printf("replaying %s: scenario %q (%d committed records; -dist trace:%s -mu 0 for its raw lengths)\n",
+			path, name, tr.Commits(), filepath.Base(path))
+	}
 	return name
+}
+
+// runConvert streams a trace from one on-disk format to the other
+// (destination format from -out's extension) without materializing
+// it.
+func runConvert(src, dst string) {
+	n, err := trace.Convert(src, dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	sfi, serr := os.Stat(src)
+	dfi, derr := os.Stat(dst)
+	if serr == nil && derr == nil && sfi.Size() > 0 {
+		fmt.Printf("converted %s -> %s (%d records, %d -> %d bytes, %.2fx)\n",
+			src, dst, n, sfi.Size(), dfi.Size(), float64(sfi.Size())/float64(dfi.Size()))
+		return
+	}
+	fmt.Printf("converted %s -> %s (%d records)\n", src, dst, n)
+}
+
+// runSynth streams n synthetic records through the trace writer —
+// the bounded-memory soak behind `make trace-demo`'s million-record
+// leg. Records are deterministic in -seed: round-robin workers,
+// monotone start times, small sorted footprints, all committed.
+func runSynth(n int, path string, workers int, seed uint64) {
+	if workers < 1 {
+		workers = 4
+	}
+	h := trace.Header{
+		Scenario: "synth",
+		Workers:  workers,
+		Config:   fmt.Sprintf("synth(n=%d,seed=%d)", n, seed),
+		UnitNs:   1,
+	}
+	w, err := trace.Create(path, h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	x := seed | 1
+	var rec trace.Record
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		base := uint32(x>>33) % 1024
+		rec = trace.Record{
+			Worker:    int32(i % workers),
+			StartNs:   int64(i) * 1500,
+			DurNs:     1200 + int64(x%400),
+			Retries:   uint32(x % 3),
+			Committed: true,
+			Ops:       4,
+			Compute:   float64(16 + x%64),
+			Think:     float64(x % 32),
+			Reads:     []uint32{base, base + 1, base + 7},
+			Writes:    []uint32{base},
+		}
+		if err := w.WriteRecord(&rec); err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d synthetic records, %d bytes, %.1f bytes/record)\n",
+		path, n, fi.Size(), float64(fi.Size())/float64(n))
 }
 
 // runRecord records one STM run of the selected scenario at the

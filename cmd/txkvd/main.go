@@ -11,6 +11,7 @@
 //	txkvd -mode lazy -batch 4 -workers 8     # lazy group-commit pool
 //	txkvd -workload list                     # list keyed workloads
 //	txkvd -bench -workload hotspot-counter   # in-process closed loop
+//	txkvd -bench -record run.btrace          # capture the run's transaction trace
 //	txkvd -load http://127.0.0.1:7070 -users 8 -workload document
 //	txkvd -perf -out BENCH_txkv.json         # CI perf snapshot
 //
@@ -34,7 +35,9 @@ import (
 	"txconflict/internal/dist"
 	"txconflict/internal/metrics"
 	"txconflict/internal/rng"
+	"txconflict/internal/scenario"
 	"txconflict/internal/stm"
+	"txconflict/internal/trace"
 	"txconflict/internal/tune"
 	"txconflict/internal/txkv"
 )
@@ -62,6 +65,7 @@ func main() {
 		out      = flag.String("out", "", "write output to this file instead of stdout (perf mode)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux (serve mode; exposes goroutine/heap/CPU profiles — keep off on untrusted networks)")
 		msample  = flag.Int("metrics-sample", metrics.DefaultSampleN, "1-in-N sampling interval for the commit-phase timers (rounded up to a power of two)")
+		record   = flag.String("record", "", "with -bench: record the run's transaction trace to this file (.btrace = binary container; see internal/trace)")
 	)
 	flag.Parse()
 
@@ -107,6 +111,9 @@ func main() {
 	// the flag would silently do nothing.
 	serving := !*bench && !*perf && *load == ""
 	if err := cliutil.CheckRequires("pprof", *pprofOn, serving, "serve mode (-pprof mounts on the HTTP mux)"); err != nil {
+		cliutil.Fatal("txkvd", err)
+	}
+	if err := cliutil.CheckRequires("record", *record != "", *bench, "-bench (the recorder drains when the in-process run stops)"); err != nil {
 		cliutil.Fatal("txkvd", err)
 	}
 
@@ -174,6 +181,14 @@ func main() {
 
 	switch {
 	case *bench:
+		// The recorder goes on cfg.Trace first so attachSampler tees
+		// into it: adaptive sampling and trace capture stack.
+		var rec *trace.Recorder
+		if *record != "" {
+			rec = trace.NewRecorder("txkv:"+w.Name(), planeWorkers, cfg.String())
+			rec.SetUnitNs(scenario.CalibrateUnitNs())
+			cfg.Trace = rec
+		}
 		sampler := attachSampler(&cfg, *adaptive)
 		s := w.NewStore(txkv.Config{Capacity: *capacity, EscrowCounters: *fold, STM: cfg})
 		var tn *tune.Tuner
@@ -188,6 +203,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "txkvd:", err)
 			os.Exit(1)
+		}
+		if rec != nil {
+			saveRecording(rec, *record)
 		}
 		snap := s.Runtime().Stats.Snapshot()
 		fmt.Printf("%s: %.0f ops/sec (%d ops, %d users, %d commits, %d aborts, mode %s)\n",
@@ -206,6 +224,28 @@ func main() {
 	default:
 		serve(w, *addr, *capacity, *workers, *seed, cfg, *adaptive, *fold, *pprofOn)
 	}
+}
+
+// saveRecording drains the bench recorder into the trace file at
+// path through the streaming writer (format by extension), after the
+// load generator's users have stopped.
+func saveRecording(rec *trace.Recorder, path string) {
+	w, err := trace.Create(path, rec.Header())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+	n, err := rec.WriteTo(w)
+	if err == nil {
+		err = w.Close()
+	} else {
+		w.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txkvd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d transactions to %s\n", n, path)
 }
 
 // attachSampler wraps cfg.Trace in a tune.Sampler when adaptive mode

@@ -93,13 +93,16 @@ func main() {
 	if *replay != "" {
 		// The recorded footprints become a registry scenario, so the
 		// Figure 3 sweep below replays them like any built-in workload.
-		tr, err := trace.Load(*replay)
+		// Compute units are converted to simulated cycles via the
+		// trace's calibration header; huge captures load as an evenly
+		// spaced index sample.
+		tr, err := trace.LoadSample(*replay, 65536)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "txsim:", err)
 			os.Exit(2)
 		}
 		sel = "replay:" + filepath.Base(*replay)
-		if err := trace.RegisterScenario(sel, tr); err != nil {
+		if err := trace.RegisterScenarioCycles(sel, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "txsim:", err)
 			os.Exit(2)
 		}
@@ -107,8 +110,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "txsim:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("replaying %s: scenario %q (%d committed records; -dist trace:%s -mu 0 for its raw lengths)\n",
-			*replay, sel, tr.Commits(), filepath.Base(*replay))
+		fmt.Printf("replaying %s: scenario %q (%d committed records, unit scale ×%.3g; -dist trace:%s -mu 0 for its raw lengths)\n",
+			*replay, sel, tr.Commits(), tr.CycleScale(), filepath.Base(*replay))
 	}
 
 	ths, err := parseThreads(*threads)

@@ -162,6 +162,10 @@ type STMConfig struct {
 	// Delta is the Add magnitude for the commutative-counter
 	// scenarios (scenario.Options.Delta; 0 = 1).
 	Delta uint64
+	// TraceSweep adds the trace-format encode/decode/size section to
+	// the STMPerf report (traceSweep in BENCH_stm.json) — the
+	// stmbench -tracesweep / make bench-trace path.
+	TraceSweep bool
 	// Quick trims STMPerf to the main points (no per-scenario, batch,
 	// fold or adaptive sweeps) — the bench-fleet path, where the
 	// matrix itself supplies the coverage.

@@ -219,6 +219,10 @@ type STMPerfReport struct {
 	// the tuned runtime's SetPolicy count across it.
 	AdaptiveSweep []STMAdaptivePerf `json:"adaptiveSweep,omitempty"`
 	AdaptiveSwaps uint64            `json:"adaptiveSwaps,omitempty"`
+	// TraceSweep is the trace-format comparison (STMConfig.TraceSweep
+	// / make bench-trace): both on-disk formats encoding the same
+	// recorded hotspot trace, with bytes/record and codec throughput.
+	TraceSweep []TraceFormatPerf `json:"traceSweep,omitempty"`
 }
 
 // STMPerf measures commits/sec and abort counts on the main benchmark
@@ -390,6 +394,15 @@ func STMPerf(bench string, cfg STMConfig) (*STMPerfReport, error) {
 			})
 		}
 		rep.AdaptiveSwaps = arep.Swaps
+	}
+	// Trace-format sweep (make bench-trace): both on-disk formats over
+	// the same recorded hotspot capture.
+	if cfg.TraceSweep {
+		cells, err := TraceFormatSweep(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf trace sweep: %w", err)
+		}
+		rep.TraceSweep = cells
 	}
 	return rep, nil
 }

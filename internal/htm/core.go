@@ -150,7 +150,11 @@ func (c *Core) access(op Op) {
 			}
 			if victim.Tx {
 				// Algorithm 1, line 4: evicting a transactional
-				// line aborts the transaction.
+				// line aborts the transaction. The victim left the
+				// cache in Insert, so doAbort's sweep cannot see it
+				// — release its ownership here or the directory
+				// retries this core's next request for it forever.
+				c.dropEvictedTxVictim(victim)
 				c.capAborts++
 				c.doAbort()
 				return
@@ -199,6 +203,21 @@ func (c *Core) sendRequest(la cache.LineAddr, write bool) {
 	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.Request(req) })
 }
 
+// dropEvictedTxVictim releases the directory-side state of a
+// transactional line that a capacity eviction just removed from the
+// cache. A Modified victim's speculative data is discarded (the
+// directory copy is the committed value), but the directory must stop
+// believing this core owns the line: doAbort's DropOwned sweep walks
+// the cache and the victim is already gone from it.
+func (c *Core) dropEvictedTxVictim(victim cache.Line) {
+	if victim.State != cache.Modified {
+		return // Shared drops stay silent; the sharer mask is a superset
+	}
+	la := victim.Tag
+	c.m.count("core.dropowned")
+	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.DropOwned(c.id, la) })
+}
+
 func (c *Core) sendWriteback(la cache.LineAddr, data [cache.WordsPerLine]uint64) {
 	c.m.count("core.writeback")
 	c.m.K.After(c.m.coreDirLatency(c.id), func() { c.m.Dir.Writeback(c.id, la, data) })
@@ -218,6 +237,7 @@ func (c *Core) handleGrant(la cache.LineAddr, data [cache.WordsPerLine]uint64, w
 				c.sendWriteback(victim.Tag, victim.Data)
 			}
 			if victim.Tx && c.txActive {
+				c.dropEvictedTxVictim(victim)
 				c.capAborts++
 				// Fill first so the grant is not lost, then abort.
 				nl.State = grantState(write)

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -191,6 +192,30 @@ func (rn *STMRunner) Check(perWorker []uint64) error {
 		PerWorkerCommits: perWorker,
 	}
 	return rn.sc.Check(st)
+}
+
+// CalibrateUnitNs measures this machine's wall-clock nanoseconds per
+// compute unit (one busyWork iteration) — the conversion a trace
+// recorder stamps into its header so recorded compute lengths replay
+// as faithful simulated-cycle counts on another box (at the
+// simulator's 1 GHz convention, units × UnitNs = cycles). Best of
+// three trials over 2²⁰ iterations (~1-4 ms total); the minimum
+// rejects scheduler preemption, which only ever inflates the
+// measurement.
+func CalibrateUnitNs() float64 {
+	const n = 1 << 20
+	best := math.MaxFloat64
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		busyWork(n)
+		if d := float64(time.Since(start).Nanoseconds()) / n; d < best && d > 0 {
+			best = d
+		}
+	}
+	if best == math.MaxFloat64 {
+		return 0
+	}
+	return best
 }
 
 // busyWork spins for n iterations of dependent integer work, keeping

@@ -8,10 +8,12 @@ import (
 	"os"
 )
 
-// FormatName and FormatVersion identify the on-disk trace format: a
-// single JSON header line followed by one JSON record per line.
-// Version bumps whenever a Record or Header field changes meaning;
-// Load rejects files written by a newer version instead of silently
+// FormatName and FormatVersion identify the on-disk trace formats.
+// JSONL is a single JSON header line followed by one JSON record per
+// line; the binary container (binary.go) frames the same records
+// into CRC'd blocks behind an 8-byte magic. Version bumps whenever a
+// Record or Header field changes meaning; readers of both formats
+// reject files written by a newer version instead of silently
 // misreading them.
 const (
 	FormatName    = "txconflict-trace"
@@ -23,9 +25,10 @@ const (
 // magnitude of headroom.
 const maxLineBytes = 4 << 20
 
-// Write streams the trace to w: header line, then one record per
-// line. The header's format, version and record count are stamped
-// from the actual data.
+// Write streams the trace to w in the JSONL format: header line,
+// then one record per line. The header's format, version and record
+// count are stamped from the actual data. (WriteBinary is the
+// block-framed sibling; Save picks by extension.)
 func Write(w io.Writer, tr *Trace) error {
 	bw := bufio.NewWriter(w)
 	h := tr.Header
@@ -44,81 +47,48 @@ func Write(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// Read parses a trace from r, validating format name, version and
-// record count (a short stream means a truncated file).
+// Read parses a JSONL trace from r, validating format name, version
+// and record count (a short stream means a truncated file). It is
+// the materialized convenience over the streaming reader; for binary
+// streams use ReadBinary, for files of either format use Load.
 func Read(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("trace: read header: %w", err)
-		}
-		return nil, fmt.Errorf("trace: empty stream")
+	jr, err := newJSONLReader(r)
+	if err != nil {
+		return nil, err
 	}
-	var h Header
-	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
-		return nil, fmt.Errorf("trace: parse header: %w", err)
-	}
-	if h.Format != FormatName {
-		return nil, fmt.Errorf("trace: not a %s stream (format %q)", FormatName, h.Format)
-	}
-	if h.Version < 1 || h.Version > FormatVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d (this build reads <= %d)",
-			h.Version, FormatVersion)
-	}
-	tr := &Trace{Header: h}
-	if h.Count > 0 {
-		// Trust the header's count for sizing only up to a bound: a
-		// corrupt count must not commit us to a huge allocation before
-		// a single record has parsed (found by FuzzLoad).
-		c := h.Count
-		if c > 4096 {
-			c = 4096
-		}
-		tr.Records = make([]Record, 0, c)
-	}
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("trace: parse record %d: %w", len(tr.Records), err)
-		}
-		tr.Records = append(tr.Records, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read records: %w", err)
-	}
-	if len(tr.Records) != h.Count {
-		return nil, fmt.Errorf("trace: truncated stream: %d records, header promises %d",
-			len(tr.Records), h.Count)
-	}
-	return tr, nil
+	return materialize(jr)
 }
 
-// Save writes the trace to path (atomically enough for CLI use: a
-// failed write leaves a partial file that Load rejects via the record
-// count).
+// Save writes the trace to path, in the binary container when the
+// path carries the BinaryExt extension and JSONL otherwise
+// (atomically enough for CLI use: a failed write leaves a partial
+// file that Load rejects via the record count or the missing
+// footer).
 func Save(path string, tr *Trace) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	if err := Write(f, tr); err != nil {
+	if IsBinaryPath(path) {
+		err = WriteBinary(f, tr)
+	} else {
+		err = Write(f, tr)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// Load reads and validates the trace at path.
+// Load reads and validates the trace at path, auto-detecting the
+// format from the content (JSONL or the binary container) — the
+// extension is only a writing-side convention.
 func Load(path string) (*Trace, error) {
-	f, err := os.Open(path)
+	rr, err := Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	defer rr.Close()
+	return materialize(rr)
 }

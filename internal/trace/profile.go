@@ -219,8 +219,12 @@ func (p *Profile) lengthHistogram() []histBucket {
 }
 
 // replayRecords converts the trace's committed records to the
-// scenario layer's replay form.
-func replayRecords(tr *Trace) []scenario.ReplayRecord {
+// scenario layer's replay form, scaling compute and think by the
+// given factor (1 replays the recorded units raw).
+func replayRecords(tr *Trace, scale float64) []scenario.ReplayRecord {
+	if scale <= 0 {
+		scale = 1
+	}
 	recs := make([]scenario.ReplayRecord, 0, len(tr.Records))
 	for i := range tr.Records {
 		r := &tr.Records[i]
@@ -230,19 +234,45 @@ func replayRecords(tr *Trace) []scenario.ReplayRecord {
 		recs = append(recs, scenario.ReplayRecord{
 			Reads:   r.Reads,
 			Writes:  r.Writes,
-			Compute: r.Compute,
-			Think:   r.Think,
+			Compute: r.Compute * scale,
+			Think:   r.Think * scale,
 		})
 	}
 	return recs
 }
 
+// CycleScale returns the trace's busy-work-unit → simulated-cycle
+// conversion factor: the calibrated Header.UnitNs when the capture
+// stamped one (at the simulator's 1 GHz convention, one wall
+// nanosecond is one cycle), and 1 for pre-calibration files.
+func (tr *Trace) CycleScale() float64 {
+	if tr.UnitNs > 0 {
+		return tr.UnitNs
+	}
+	return 1
+}
+
 // ReplayScenario builds a scenario.NewReplay over the trace's
 // committed records: the identical footprints re-issued as
 // register-machine programs, runnable on the HTM simulator (via
-// internal/workload) and the STM runtime alike.
+// internal/workload) and the STM runtime alike. Compute and think
+// replay in the recorded units — right for the STM backend, whose
+// units are busy-work iterations; the simulator wants
+// ReplayScenarioCycles.
 func ReplayScenario(tr *Trace, opt scenario.Options) (*scenario.Scenario, error) {
-	recs := replayRecords(tr)
+	return replayScenario(tr, opt, 1)
+}
+
+// ReplayScenarioCycles is ReplayScenario with the recorded compute
+// and think lengths converted to simulated cycles via the trace's
+// calibration header (CycleScale) — the HTM-backend form, faithful
+// to the recording machine's real per-unit cost.
+func ReplayScenarioCycles(tr *Trace, opt scenario.Options) (*scenario.Scenario, error) {
+	return replayScenario(tr, opt, tr.CycleScale())
+}
+
+func replayScenario(tr *Trace, opt scenario.Options, scale float64) (*scenario.Scenario, error) {
+	recs := replayRecords(tr, scale)
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("trace: no committed records to replay (scenario %q, %d records)",
 			tr.Scenario, len(tr.Records))
@@ -256,9 +286,22 @@ func ReplayScenario(tr *Trace, opt scenario.Options) (*scenario.Scenario, error)
 // RegisterScenario adds the trace's replay to the scenario.ByName
 // catalog under the given name, making it selectable wherever a
 // registry scenario is (-scenario flags, the parity suite, the
-// figure harnesses).
+// figure harnesses). Units replay raw (the STM-backend convention);
+// RegisterScenarioCycles is the calibrated simulator form.
 func RegisterScenario(name string, tr *Trace) error {
-	recs := replayRecords(tr)
+	return registerScenario(name, tr, 1)
+}
+
+// RegisterScenarioCycles registers the replay with compute and think
+// converted to simulated cycles via the calibration header — what
+// txsim -replay uses, so a trace recorded on a fast box simulates
+// with that box's real per-unit cost.
+func RegisterScenarioCycles(name string, tr *Trace) error {
+	return registerScenario(name, tr, tr.CycleScale())
+}
+
+func registerScenario(name string, tr *Trace, scale float64) error {
+	recs := replayRecords(tr, scale)
 	if len(recs) == 0 {
 		return fmt.Errorf("trace: no committed records to replay (scenario %q, %d records)",
 			tr.Scenario, len(tr.Records))

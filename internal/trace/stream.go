@@ -1,0 +1,434 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BinaryExt is the file extension selecting the block-framed binary
+// container in Create/Save/Convert; anything else writes JSONL.
+const BinaryExt = ".btrace"
+
+// RecordReader streams records out of a persisted trace without
+// materializing it: Next fills rec and returns io.EOF after the last
+// record. Implementations validate the stream (format, version,
+// CRCs, record count) as they go; a clean io.EOF means the whole
+// trace was read and checked. Header is available immediately, but
+// its Count is authoritative only for JSONL — the binary footer
+// patches it once the stream completes.
+type RecordReader interface {
+	Header() *Header
+	Next(rec *Record) error
+	Close() error
+}
+
+// RecordWriter streams records into a persisted trace. Close seals
+// the file (JSONL back-patches the header's record count; binary
+// writes the index footer); dropping a writer without Close leaves a
+// file every reader rejects.
+type RecordWriter interface {
+	WriteRecord(rec *Record) error
+	Close() error
+}
+
+// jsonlReader streams the line-oriented JSONL format.
+type jsonlReader struct {
+	sc    *bufio.Scanner
+	h     Header
+	count int
+	done  bool
+}
+
+// newJSONLReader parses the header line and positions the stream at
+// the first record.
+func newJSONLReader(r io.Reader) (*jsonlReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: read header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty stream")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("trace: parse header: %w", err)
+	}
+	if h.Format != FormatName {
+		return nil, fmt.Errorf("trace: not a %s stream (format %q)", FormatName, h.Format)
+	}
+	if h.Version < 1 || h.Version > FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (this build reads <= %d)",
+			h.Version, FormatVersion)
+	}
+	return &jsonlReader{sc: sc, h: h}, nil
+}
+
+func (r *jsonlReader) Header() *Header { return &r.h }
+
+func (r *jsonlReader) Next(rec *Record) error {
+	if r.done {
+		return io.EOF
+	}
+	for r.sc.Scan() {
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		*rec = Record{}
+		if err := json.Unmarshal(line, rec); err != nil {
+			return fmt.Errorf("trace: parse record %d: %w", r.count, err)
+		}
+		r.count++
+		return nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return fmt.Errorf("trace: read records: %w", err)
+	}
+	if r.count != r.h.Count {
+		return fmt.Errorf("trace: truncated stream: %d records, header promises %d",
+			r.count, r.h.Count)
+	}
+	r.done = true
+	return io.EOF
+}
+
+func (r *jsonlReader) Close() error { return nil }
+
+// countPad is the slack reserved after the JSONL stream writer's
+// provisional header line, so the final header (with the real record
+// count) can be patched in place without moving the record lines.
+const countPad = 20
+
+// jsonlWriter streams records as JSONL. The header goes out first
+// with a zero count and countPad trailing spaces; Close re-marshals
+// it with the final count and rewrites the line in place — which is
+// why this writer needs an io.WriteSeeker. A crash before Close
+// leaves count 0 with records following, which Read rejects as
+// truncated-or-lying, same as the materialized Write path.
+type jsonlWriter struct {
+	ws      io.WriteSeeker
+	bw      *bufio.Writer
+	h       Header
+	lineLen int
+	count   int
+	closed  bool
+}
+
+func newJSONLWriter(ws io.WriteSeeker, h Header) (*jsonlWriter, error) {
+	h.Format = FormatName
+	h.Version = FormatVersion
+	h.Count = 0
+	hj, err := json.Marshal(&h)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encode header: %w", err)
+	}
+	line := append(hj, strings.Repeat(" ", countPad)...)
+	line = append(line, '\n')
+	w := &jsonlWriter{ws: ws, bw: bufio.NewWriterSize(ws, 1<<16), h: h, lineLen: len(line) - 1}
+	if _, err := w.bw.Write(line); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return w, nil
+}
+
+func (w *jsonlWriter) WriteRecord(rec *Record) error {
+	if w.closed {
+		return fmt.Errorf("trace: WriteRecord after Close")
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("trace: encode record %d: %w", w.count, err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.bw.Write(buf); err != nil {
+		return fmt.Errorf("trace: write record %d: %w", w.count, err)
+	}
+	w.count++
+	return nil
+}
+
+func (w *jsonlWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	w.h.Count = w.count
+	hj, err := json.Marshal(&w.h)
+	if err != nil {
+		return fmt.Errorf("trace: encode final header: %w", err)
+	}
+	if len(hj) > w.lineLen {
+		return fmt.Errorf("trace: final header (%d bytes) outgrew its reserved line (%d)", len(hj), w.lineLen)
+	}
+	line := append(hj, strings.Repeat(" ", w.lineLen-len(hj))...)
+	if _, err := w.ws.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: patch header: %w", err)
+	}
+	if _, err := w.ws.Write(line); err != nil {
+		return fmt.Errorf("trace: patch header: %w", err)
+	}
+	if _, err := w.ws.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("trace: patch header: %w", err)
+	}
+	return nil
+}
+
+// fileReader bundles a RecordReader with the file it reads.
+type fileReader struct {
+	RecordReader
+	f *os.File
+}
+
+func (fr *fileReader) Close() error {
+	err := fr.RecordReader.Close()
+	if cerr := fr.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// fileWriter bundles a RecordWriter with the file it writes; Close
+// seals the trace then the file.
+type fileWriter struct {
+	RecordWriter
+	f *os.File
+}
+
+func (fw *fileWriter) Close() error {
+	err := fw.RecordWriter.Close()
+	if cerr := fw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// NewReader auto-detects the trace format on r (binary magic vs JSONL
+// '{') and returns the matching streaming reader.
+func NewReader(r io.Reader) (RecordReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	sniff, err := br.Peek(len(BinaryMagic))
+	if err != nil && len(sniff) == 0 {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty stream")
+		}
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(sniff) >= len(BinaryMagic) && string(sniff[:6]) == BinaryMagic[:6] {
+		// Any container version routes to the binary reader, which
+		// rejects unsupported versions with a telling error instead of
+		// "unrecognized format".
+		return newBinaryReader(br)
+	}
+	if len(sniff) > 0 && sniff[0] == '{' {
+		return newJSONLReader(br)
+	}
+	return nil, fmt.Errorf("trace: unrecognized trace format (leading bytes %q)", sniff)
+}
+
+// Open opens the trace at path for streaming reads, auto-detecting
+// the format from the content (not the extension).
+func Open(path string) (RecordReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	rr, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileReader{RecordReader: rr, f: f}, nil
+}
+
+// Create starts a streaming trace writer at path. The extension picks
+// the format: BinaryExt (".btrace") writes the block-framed binary
+// container, anything else JSONL. The header's Count is ignored —
+// Close stamps the real count (JSONL) or index footer (binary).
+func Create(path string, h Header) (RecordWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var rw RecordWriter
+	if IsBinaryPath(path) {
+		rw, err = NewWriter(f, h, BinaryWriterOptions{})
+	} else {
+		rw, err = newJSONLWriter(f, h)
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileWriter{RecordWriter: rw, f: f}, nil
+}
+
+// IsBinaryPath reports whether path selects the binary container by
+// extension.
+func IsBinaryPath(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), BinaryExt)
+}
+
+// Convert streams the trace at src into dst, re-encoding in the
+// format dst's extension selects (JSONL ↔ binary in either
+// direction, or a re-encode within one format). Provenance — header
+// fields including the UnitNs calibration — carries over. Returns
+// the number of records converted; memory stays bounded regardless
+// of trace size.
+func Convert(src, dst string) (int, error) {
+	rr, err := Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer rr.Close()
+	w, err := Create(dst, *rr.Header())
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var rec Record
+	for {
+		if err := rr.Next(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			w.Close()
+			return n, err
+		}
+		if err := w.WriteRecord(&rec); err != nil {
+			w.Close()
+			return n, err
+		}
+		n++
+	}
+	return n, w.Close()
+}
+
+// materialize drains a streaming reader into a Trace. The
+// preallocation is bounded the same way Read's is: a lying header
+// count cannot force a huge up-front allocation.
+func materialize(rr RecordReader) (*Trace, error) {
+	h := rr.Header()
+	tr := &Trace{Header: *h}
+	if c := h.Count; c > 0 {
+		if c > 4096 {
+			c = 4096
+		}
+		tr.Records = make([]Record, 0, c)
+	}
+	var rec Record
+	for {
+		if err := rr.Next(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	// The binary reader learns the authoritative count from the
+	// footer; refresh the materialized header either way.
+	tr.Header = *rr.Header()
+	tr.Header.Count = len(tr.Records)
+	return tr, nil
+}
+
+// LoadSample loads at most ~max records from the trace at path,
+// evenly spaced across the whole capture. On the binary format it
+// uses the block index: only the selected blocks are read and
+// decoded, so sampling a 10⁸-record trace touches a handful of
+// blocks. On JSONL (no index) it falls back to a strided streaming
+// pass — still bounded memory, but a full-file scan. max <= 0, or a
+// trace within budget, loads everything.
+func LoadSample(path string, max int) (*Trace, error) {
+	if max <= 0 {
+		return Load(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var sniff [len(BinaryMagic)]byte
+	n, _ := f.ReadAt(sniff[:], 0)
+	if n == len(sniff) && string(sniff[:]) == BinaryMagic {
+		defer f.Close()
+		return sampleBinary(f, max)
+	}
+	f.Close()
+	return sampleJSONL(path, max)
+}
+
+// sampleBinary picks evenly spaced blocks off the index until the
+// record budget is filled.
+func sampleBinary(f *os.File, max int) (*Trace, error) {
+	h, idx, total, err := readIndexFile(f)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Header: *h}
+	if total <= max || len(idx) <= 1 {
+		// Within budget (or a single block): stream the whole file.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		return ReadBinary(f)
+	}
+	// How many whole blocks fit the budget, and which: ceil-strided
+	// positions across the index so the sample spans the capture.
+	avg := (total + len(idx) - 1) / len(idx)
+	want := max / avg
+	if want < 1 {
+		want = 1
+	}
+	if want > len(idx) {
+		want = len(idx)
+	}
+	for i := 0; i < want; i++ {
+		e := idx[i*len(idx)/want]
+		if tr.Records, err = decodeBlockAt(f, e, tr.Records); err != nil {
+			return nil, err
+		}
+	}
+	tr.Header.Count = len(tr.Records)
+	tr.Header.Sampled = total
+	return tr, nil
+}
+
+// sampleJSONL strides a full streaming pass, keeping every k-th
+// record.
+func sampleJSONL(path string, max int) (*Trace, error) {
+	rr, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rr.Close()
+	total := rr.Header().Count
+	if total <= max {
+		return materialize(rr)
+	}
+	stride := (total + max - 1) / max
+	tr := &Trace{Header: *rr.Header()}
+	var rec Record
+	for i := 0; ; i++ {
+		if err := rr.Next(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		if i%stride == 0 {
+			tr.Records = append(tr.Records, rec)
+		}
+	}
+	tr.Header.Count = len(tr.Records)
+	tr.Header.Sampled = total
+	return tr, nil
+}

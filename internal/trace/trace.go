@@ -11,9 +11,19 @@
 //     buffers (installed via stm.Config.Trace, annotated with
 //     program-level context by scenario.STMRunner). One Record per
 //     atomic block: footprints, retries, kills, grace waits, timings.
-//   - Save/Load: a versioned on-disk format — one JSON header line
-//     followed by one JSON record per line — with format and version
-//     checks plus truncation detection on load.
+//   - Save/Load: two versioned on-disk formats behind one API. JSONL
+//     (one JSON header line, one JSON record per line, ~100
+//     bytes/record) is the human-greppable form; the block-framed
+//     binary container (BinaryExt ".btrace", see binary.go: varint +
+//     delta coding, per-block CRC and optional DEFLATE, an index
+//     footer for seek/sample) is the production-capture form at
+//     ~4-10x smaller. Load auto-detects by content; Save/Create pick
+//     by extension; Convert streams between them.
+//   - Writer/RecordWriter and RecordReader: the streaming pair —
+//     record and replay paths never hold a full trace in memory, so
+//     10⁶–10⁸-transaction captures stream through a bounded block
+//     buffer. LoadSample uses the binary index to replay an evenly
+//     spaced sample of an arbitrarily large trace.
 //   - Profile: the aggregator turning a trace into length and
 //     think-time distributions (dist.NewEmpirical samplers,
 //     registrable in the dist.ByName catalog as "trace:<key>") and a
@@ -91,6 +101,18 @@ type Header struct {
 	CapturedUnixNs int64 `json:"capturedUnixNs"`
 	// Count is the record count (truncation check on load).
 	Count int `json:"records"`
+	// UnitNs is the recording machine's calibrated wall-clock
+	// nanoseconds per scenario compute unit (one busy-work
+	// iteration), measured at capture time. It closes the units gap
+	// between the two backends: at the simulator's 1 GHz convention,
+	// recorded units × UnitNs = simulated cycles, so a trace recorded
+	// on one box replays faithfully on the simulator
+	// (ReplayScenarioCycles). 0 in files written before calibration
+	// existed — replay then falls back to 1 unit = 1 cycle.
+	UnitNs float64 `json:"unitNs,omitempty"`
+	// Sampled is the original capture's record count when this trace
+	// is an index-sampled subset (LoadSample); 0 for full loads.
+	Sampled int `json:"sampled,omitempty"`
 }
 
 // Trace is a fully loaded (or freshly captured) trace.
